@@ -1,0 +1,17 @@
+"""Ablation: per-stage index randomness and attacker success."""
+
+from repro.bench.experiments import exp_ablation
+
+
+def test_ablation(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_ablation, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "ablation")
+    assert len(table.rows) == 4
+    # Stage 2 collapses the distinct/total ratio (lossy compression).
+    distinct = {r[0]: float(r[3]) for r in table.rows}
+    assert (
+        distinct["+ Stage 2 (64 codes)"]
+        < distinct["Stage 1 only (raw ECB)"]
+    )

@@ -1,0 +1,85 @@
+"""The §8 extensions: SWP word search, searchable compression,
+collusion analysis."""
+
+from repro.bench.extensions import (
+    exp_collusion,
+    exp_compression,
+    exp_edge_defense,
+    exp_stage2_attack,
+    exp_warsaw,
+    exp_wordsearch,
+)
+
+
+def test_wordsearch(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_wordsearch, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "wordsearch")
+    recalls = [r[1] for r in table.rows]
+    assert all(v == "100%" for v in recalls)
+    # SWP's word index is far smaller than the multi-chunking index.
+    chunk_bytes = float(table.rows[0][3].replace(",", ""))
+    word_bytes = float(table.rows[1][3].replace(",", ""))
+    assert word_bytes < chunk_bytes * 3
+
+
+def test_compression(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_compression, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "compression")
+    assert all(r[3] == "100%" for r in table.rows)  # recall invariant
+    ratios = [float(r[1]) for r in table.rows]
+    assert all(r < 1.0 for r in ratios)  # it actually compresses
+    fps = [int(r[2].replace(",", "")) for r in table.rows]
+    assert fps[-1] >= fps[0]  # lossier buckets -> more FPs
+
+
+def test_edge_defense(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_edge_defense, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "edge_defense")
+    keep, drop = table.rows
+    assert keep[1].endswith("%")  # boundary attack succeeds measurably
+    assert drop[1].startswith("n/a")
+    # The refined finding: recall stays 100% either way for
+    # supported queries.
+    assert keep[2] == drop[2] == "100%"
+    assert keep[3] == drop[3] == "100%"
+
+
+def test_stage2_attack(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_stage2_attack, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "stage2_attack")
+    for row in table.rows:
+        unigram = float(row[1].rstrip("%"))
+        bigram = float(row[2].rstrip("%"))
+        # The bigram solver exploits what rank matching cannot.
+        assert bigram >= unigram
+
+
+def test_warsaw_counterfactual(benchmark, emit):
+    table = benchmark.pedantic(
+        exp_warsaw, kwargs={"sample_size": 500}, rounds=1, iterations=1
+    )
+    emit(table, "warsaw")
+    for row in table.rows:
+        sf_fp2 = int(row[2].replace(",", ""))
+        warsaw_fp2 = int(row[4].replace(",", ""))
+        # The paper's hunch: long surnames collapse the FP mass.
+        assert warsaw_fp2 < sf_fp2 / 3
+
+
+def test_collusion(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_collusion, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "collusion")
+    assert table.rows[0][4] == "no"
+    assert table.rows[-1][4] == "yes"
+    known = [int(r[1].split("/")[0]) for r in table.rows]
+    assert known == sorted(known)

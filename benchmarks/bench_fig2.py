@@ -1,0 +1,11 @@
+"""Paper Figure 2: the worked 'SCHWARZ' search example."""
+
+from repro.bench.experiments import exp_fig2
+
+
+def test_fig2(benchmark, emit):
+    table = benchmark.pedantic(exp_fig2, rounds=1, iterations=1)
+    emit(table, "fig2")
+    hits = [r for r in table.rows if r[0].startswith("hit")]
+    # Reduced layout: exactly one (series, chunking) pair matches.
+    assert len(hits) == 1

@@ -1,0 +1,9 @@
+"""Paper Figure 3: one record over 9 sites (1 store + 8 index)."""
+
+from repro.bench.experiments import exp_fig3
+
+
+def test_fig3(benchmark, emit):
+    table = benchmark.pedantic(exp_fig3, rounds=1, iterations=1)
+    emit(table, "fig3")
+    assert len(table.rows) == 9  # 1 record-store + 2 chunkings x 4 sites

@@ -1,0 +1,16 @@
+"""Paper Figure 5: the greedy least-loaded encoding assignment."""
+
+from repro.bench.experiments import exp_fig5
+
+
+def test_fig5(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_fig5, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "fig5")
+    # The table is sorted by decreasing quantity and the top 8 symbols
+    # occupy 8 distinct buckets (the greedy rule's first pass).
+    top8_codes = [int(r[2]) for r in table.rows[:8]]
+    assert sorted(top8_codes) == list(range(8))
+    quantities = [int(r[1].replace(",", "")) for r in table.rows]
+    assert quantities == sorted(quantities, reverse=True)

@@ -1,0 +1,21 @@
+"""Encoder generalisation: train-vs-held-out χ² (deployment honesty
+for the paper's 'preprocess a representative part' advice)."""
+
+from repro.bench.experiments import exp_holdout
+
+
+def test_holdout(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_holdout, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "holdout")
+    ratios = []
+    for row in table.rows:
+        if row[4] != "inf":
+            ratios.append(float(row[4].rstrip("x")))
+    # Held-out chi^2 is never meaningfully better than train chi^2 —
+    # the encoder cannot generalise beyond what it optimised.
+    assert all(r >= 0.8 for r in ratios)
+    # And at least one configuration shows a real generalisation gap,
+    # the phenomenon this experiment exists to expose.
+    assert max(ratios) > 1.5

@@ -1,0 +1,17 @@
+"""The three index designs, head to head (see
+repro.bench.extensions.exp_index_designs)."""
+
+from repro.bench.extensions import exp_index_designs
+
+
+def test_index_designs(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_index_designs, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "index_designs")
+    recalls = [r[4] for r in table.rows]
+    assert recalls == ["100%", "n/a", "100%"]
+    # The compressed index stores less than the multi-chunking index.
+    chunk_kb = float(table.rows[0][1])
+    compressed_kb = float(table.rows[2][1])
+    assert compressed_kb < chunk_kb * 1.5

@@ -1,0 +1,15 @@
+"""The paper's announced follow-up (section 8): NIST-style randomness
+grading of the index streams."""
+
+from repro.bench.experiments import exp_randomness
+
+
+def test_randomness(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_randomness, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "randomness")
+    failed = {r[0]: int(r[2]) for r in table.rows}
+    # Raw text fails (nearly) everything; ECB streams fail much less.
+    assert failed["raw ASCII names"] >= 5
+    assert failed["Stage 1 only (ECB, s=4)"] < failed["raw ASCII names"]

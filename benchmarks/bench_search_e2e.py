@@ -1,0 +1,14 @@
+"""End-to-end encrypted search over the simulator: recall, precision,
+message and byte costs per configuration."""
+
+from repro.bench.experiments import exp_search_e2e
+
+
+def test_search_e2e(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_search_e2e, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "search_e2e")
+    recalls = [r[1] for r in table.rows]
+    assert all(v in ("100%", "-") for v in recalls)
+    assert recalls[0] == "100%"

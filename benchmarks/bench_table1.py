@@ -1,0 +1,15 @@
+"""Paper Table 1: χ² of the raw directory + most common n-grams."""
+
+from repro.bench.experiments import exp_table1
+
+
+def test_table1(benchmark, directory, emit):
+    table = benchmark.pedantic(
+        exp_table1, args=(directory,), rounds=1, iterations=1
+    )
+    emit(table, "table1")
+    chis = [float(r[1].replace(",", "")) for r in table.rows[:3]]
+    # The paper's shape: triplet chi^2 >> doublet >> single.
+    assert chis[0] < chis[1] < chis[2]
+    top_letters = {r[0] for r in table.rows[3:9]}
+    assert top_letters == {"A", "E", "N", "R", "I", "O"}

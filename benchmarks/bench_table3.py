@@ -1,0 +1,31 @@
+"""Paper Table 3: χ² after Stage-2 redundancy removal.
+
+Sweeps chunk sizes 1, 2, 4, 6 against the paper's code counts.
+"""
+
+from repro.bench.experiments import exp_table3
+
+
+def test_table3(benchmark, directory, emit):
+    tables = benchmark.pedantic(
+        exp_table3, args=(directory,), rounds=1, iterations=1
+    )
+    emit(tables, "table3")
+    for table in tables:
+        singles = [float(r[1].replace(",", "")) for r in table.rows]
+        doubles = [float(r[2].replace(",", "")) for r in table.rows]
+        triples = [float(r[3].replace(",", "")) for r in table.rows]
+        # Within each chunk size: chi^2 grows with the code count ...
+        assert singles[0] <= singles[-1]
+        # ... and with the n-gram order (inter-chunk predictability).
+        for s, d, t in zip(singles, doubles, triples):
+            assert s < d < t
+    # Larger chunks give better (smaller) doublet chi^2 at equal codes:
+    # compare chunk size 2 vs 6 at 16 codes (paper's conclusion that
+    # 'we need larger chunk sizes').
+    by_chunk = {t.title.split("= ")[1]: t for t in tables}
+    d2 = float(dict((r[0], r[2]) for r in by_chunk["2"].rows)["16"]
+               .replace(",", ""))
+    d6 = float(dict((r[0], r[2]) for r in by_chunk["6"].rows)["16"]
+               .replace(",", ""))
+    assert d6 < d2

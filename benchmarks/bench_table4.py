@@ -1,0 +1,26 @@
+"""Paper Table 4: false positives after symbol encoding (FP1) and
+after chunking with chunk size 2 (FP2), on a 1000-record sample."""
+
+from repro.bench.experiments import exp_table4
+
+
+def test_table4(benchmark, directory, emit):
+    tables = benchmark.pedantic(
+        exp_table4, args=(directory,), rounds=1, iterations=1
+    )
+    emit(tables, "table4")
+    all_entries, long_names = tables
+
+    def col(table, name):
+        index = table.headers.index(name)
+        return [int(r[index].replace(",", "")) for r in table.rows]
+
+    fp1 = col(all_entries, "FP1")
+    fp2 = col(all_entries, "FP2")
+    # Paper shape: FP1 falls steeply with the code count (6253 -> 911
+    # -> 0 in the paper); chunking adds FPs on top (FP2 > FP1).
+    assert fp1[0] > fp1[1] >= fp1[2]
+    assert all(b >= a for a, b in zip(fp1, fp2))
+    # Short names cause almost all FPs: the long-name restriction
+    # removes the overwhelming majority.
+    assert sum(col(long_names, "FP1")) < sum(fp1) / 10

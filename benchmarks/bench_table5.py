@@ -1,0 +1,27 @@
+"""Paper Table 5: false positives after two-symbol chunk encoding."""
+
+from repro.bench.experiments import exp_table5
+
+
+def test_table5(benchmark, directory, emit):
+    tables = benchmark.pedantic(
+        exp_table5, args=(directory,), rounds=1, iterations=1
+    )
+    emit(tables, "table5")
+    all_entries, long_names = tables
+
+    def col(table, name):
+        index = table.headers.index(name)
+        return [r[index] for r in table.rows]
+
+    fps = [int(v.replace(",", "")) for v in col(all_entries, "FP")]
+    # Paper shape: FP falls monotonically with the code count
+    # (31,648 -> 15,588 -> 7,968 -> 3,857).
+    assert all(a >= b for a, b in zip(fps, fps[1:]))
+    # chi^2 single grows with the code count.
+    chis = [float(v.replace(",", ""))
+            for v in col(all_entries, "chi^2 single")]
+    assert chis[0] <= chis[-1]
+    # Long names: FPs nearly vanish (859 -> 96 -> 13 -> 2 in paper).
+    long_fps = [int(v.replace(",", "")) for v in col(long_names, "FP")]
+    assert long_fps[-1] < fps[-1] / 20

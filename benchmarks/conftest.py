@@ -1,0 +1,45 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+The rendered output goes to stdout *and* to ``benchmarks/results/``,
+so a plain ``pytest benchmarks/ --benchmark-only`` leaves the full set
+of reproduced tables on disk.
+
+Dataset size defaults to 20,000 synthetic entries so the whole suite
+runs in a couple of minutes; set ``REPRO_BENCH_RECORDS=282965`` (or
+run ``python -m repro.bench --full``) for paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.tables import TableResult
+from repro.data.phonebook import generate_directory
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_RECORDS = int(os.environ.get("REPRO_BENCH_RECORDS", "20000"))
+
+
+@pytest.fixture(scope="session")
+def directory():
+    return generate_directory(BENCH_RECORDS, seed=2006)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a TableResult (or list of them) and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(tables: TableResult | list[TableResult], name: str) -> None:
+        if isinstance(tables, TableResult):
+            tables = [tables]
+        text = "\n\n".join(table.render() for table in tables)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

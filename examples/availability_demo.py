@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""High availability: the LH*_RS parity substrate.
+
+The paper stores records "in a standard SDDS such as LH* or its
+high-availability version LH*_RS".  This demo runs the encrypted
+store on LH*_RS, then simulates bucket losses and recovers the
+(encrypted) records from Reed-Solomon parity — without ever
+decrypting anything.
+"""
+
+from repro import EncryptedSearchableStore, SchemeParameters
+from repro.sdds import LHStarRSFile
+
+
+def main() -> None:
+    print("1. A raw LH*_RS file surviving a double bucket failure\n")
+    file = LHStarRSFile(bucket_capacity=4, group_size=4, parity_count=2)
+    for k in range(120):
+        file.insert(k, f"payload-{k:03d}".encode() + b"\x00")
+    print(f"   {file.record_count} records over {file.bucket_count} "
+          f"data buckets, {len(file.parity_buckets)} parity buckets")
+    victims = sorted(file.buckets)[:2]
+    recovered = file.recover_buckets(victims)
+    print(f"   simulated loss of buckets {victims}: recovered "
+          f"{sum(len(r) for r in recovered.values())} records")
+    assert file.verify_recovery(victims)
+    print("   bit-for-bit identical to the live buckets\n")
+
+    print("2. The encrypted searchable store on an LH*_RS record store\n")
+    store = EncryptedSearchableStore(
+        SchemeParameters.full(4), high_availability=True
+    )
+    phonebook = {
+        4154099999: "415-409-9999 SCHWARZ THOMAS",
+        4154091234: "415-409-1234 LITWIN WITOLD",
+        4154095678: "415-409-5678 TSUI PETER",
+    }
+    for rid, text in phonebook.items():
+        store.put(rid, text)
+    result = store.search("LITWIN")
+    print(f"   search 'LITWIN' -> {sorted(result.matches)}")
+    rs_file = store.record_file
+    victim = next(iter(rs_file.buckets))
+    assert rs_file.verify_recovery([victim])
+    print(f"   record-store bucket {victim} lost and recovered from "
+          "parity — ciphertext restored, keys never left the client")
+    parity_msgs = store.network.stats.by_kind["parity_delta"]
+    print(f"   parity maintenance cost so far: {parity_msgs} delta "
+          "messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's motivating workload: an encrypted phone directory.
+
+Loads a slice of the synthetic SF directory into the complete scheme
+(Stage 2 lossy compression + Stage 3 dispersion over 2 sites), runs
+last-name searches, and reports the precision/false-positive anatomy
+that the paper's section 7 studies — including the short-name effect
+("Yu", "Ou", "Ip"… cause almost all false positives).
+"""
+
+from collections import Counter
+
+from repro import (
+    EncryptedSearchableStore,
+    SchemeParameters,
+    generate_directory,
+)
+
+
+def main() -> None:
+    directory = generate_directory(4000, seed=2006).sample(250, seed=1)
+    corpus = [entry.name.encode("ascii") for entry in directory]
+
+    params = SchemeParameters.full(
+        4, n_codes=64, dispersal=2, master_key=b"phonebook-demo"
+    )
+    store = EncryptedSearchableStore.with_trained_encoder(params, corpus)
+    print(f"scheme: {params.describe()}")
+
+    for entry in directory:
+        store.put(entry.rid, entry.record_text)
+    footprint = store.footprint()
+    print(f"stored {len(store)} records; index/record byte ratio "
+          f"{footprint.overhead:.2f}\n")
+
+    queries = sorted({entry.last_name for entry in directory})[:40]
+    total_fp = 0
+    fp_by_length: Counter = Counter()
+    print(f"{'query':14} {'true':>5} {'cand.':>6} {'FPs':>4} "
+          f"{'precision':>9}")
+    for query in queries:
+        if len(query) < params.min_query_length:
+            continue
+        result = store.search(query)
+        total_fp += len(result.false_positives)
+        fp_by_length[len(query)] += len(result.false_positives)
+        print(f"{query:14} {len(result.matches):5} "
+              f"{len(result.candidates):6} "
+              f"{len(result.false_positives):4} "
+              f"{result.precision:9.0%}")
+    print(f"\ntotal false positives: {total_fp}")
+    if total_fp:
+        print("false positives by query length "
+              "(short names dominate, as in the paper):")
+        for length in sorted(fp_by_length):
+            if fp_by_length[length]:
+                print(f"  length {length}: {fp_by_length[length]}")
+    print("\nrecall is 100% by construction: the client filters false "
+          "positives after decryption, never misses a true match")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: store encrypted records, search them by content.
+
+Runs the paper's complete scheme end-to-end on a handful of records:
+chunk size 4, all four chunkings stored (section 2.3's full layout),
+ECB chunk encryption on, records strongly AES-CTR encrypted at the
+record-store site.
+"""
+
+from repro import EncryptedSearchableStore, SchemeParameters
+
+
+def main() -> None:
+    params = SchemeParameters.full(4, master_key=b"quickstart-demo-key")
+    store = EncryptedSearchableStore(params)
+    print(f"scheme: {params.describe()}\n")
+
+    phonebook = {
+        4154099999: "415-409-9999 SCHWARZ THOMAS",
+        4154091234: "415-409-1234 LITWIN WITOLD",
+        4154095678: "415-409-5678 TSUI PETER",
+        4154090007: "415-409-0007 ABOGADO ALEJANDRO & CATHERINE",
+    }
+    for rid, text in phonebook.items():
+        store.put(rid, text)
+    print(f"stored {len(store)} records "
+          f"({store.footprint().index_records} index streams)\n")
+
+    # What a storage site actually sees: ciphertext only.
+    sample = store.record_file.all_records()[0]
+    print(f"record-store site sees: {sample.content[:24].hex()}…\n")
+
+    for pattern in ("SCHWARZ", "WITOLD", "ALEJANDRO", "XYZW"):
+        result = store.search(pattern)
+        matched = [store.get(rid) for rid in sorted(result.matches)]
+        print(f"search {pattern!r:12} -> {len(result.matches)} match(es), "
+              f"{result.cost.messages} messages")
+        for text in matched:
+            print(f"    {text}")
+    print("\nevery lookup decrypts only at the client — "
+          "no site ever holds a searchable plaintext")
+
+
+if __name__ == "__main__":
+    main()

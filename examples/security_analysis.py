@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Security evaluation of the index records, stage by stage.
+
+Reproduces the analytical spine of the paper's sections 6-7 on a live
+pipeline: how close does each stage combination get to
+"indistinguishable from random bits", and what does a frequency
+attacker with a perfect language model still recover?
+"""
+
+from collections import Counter
+
+from repro.analysis.attack import frequency_match_attack
+from repro.analysis.chisq import ngram_chi_square
+from repro.analysis.entropy import redundancy, shannon_entropy
+from repro.analysis.randomness import randomness_battery
+from repro.core import FrequencyEncoder, IndexPipeline, SchemeParameters
+from repro.core.chunking import record_chunks
+from repro.data import generate_directory
+
+
+def bitpack(values, bits):
+    accumulator, filled, out = 0, 0, bytearray()
+    for value in values:
+        accumulator = (accumulator << bits) | value
+        filled += bits
+        while filled >= 8:
+            filled -= 8
+            out.append((accumulator >> filled) & 0xFF)
+    return bytes(out)
+
+
+def main() -> None:
+    directory = generate_directory(3000, seed=2006).sample(800, seed=4)
+    corpus = [entry.name.encode("ascii") for entry in directory]
+
+    configs = [
+        ("Stage 1 only (ECB on raw 4-symbol chunks)",
+         SchemeParameters.full(4), None),
+        ("Stages 1+2 (64-code lossy compression)",
+         SchemeParameters.full(4, n_codes=64), 64),
+        ("Stages 1+2+3 (+ dispersion, k=2)",
+         SchemeParameters.full(4, n_codes=64, dispersal=2), 64),
+    ]
+
+    # Baseline: the raw corpus.
+    raw_counts = Counter()
+    for text in corpus:
+        raw_counts.update(bytes([b]) for b in text)
+    print("raw corpus:")
+    print(f"  unigram entropy {shannon_entropy(raw_counts):.2f} bits, "
+          f"redundancy {redundancy(raw_counts, len(raw_counts)):.1%}\n")
+
+    for label, params, n_codes in configs:
+        encoder = (
+            FrequencyEncoder.train(corpus, params.chunk_size, n_codes)
+            if n_codes else None
+        )
+        pipeline = IndexPipeline(params, encoder)
+        values = []
+        plain_values = []
+        for text in corpus:
+            content = text + b"\x00"
+            stream = pipeline.build_index_streams(content)[(0, 0)]
+            width = params.piece_width
+            values.extend(
+                int.from_bytes(stream[i:i + width], "big")
+                for i in range(0, len(stream), width)
+            )
+            plain_values.extend(
+                pipeline.chunk_value(c)
+                for c in record_chunks(content, params.chunk_size, 0)
+            )
+        print(label)
+        if params.piece_bits <= 16:
+            chi, __ = ngram_chi_square(
+                [tuple(values)], 1, symbol_space=1 << params.piece_bits
+            )
+            print(f"  chi^2 over the {params.piece_bits}-bit value "
+                  f"domain: {chi:,.1f}")
+        battery = randomness_battery(bitpack(values, params.piece_bits))
+        passed = sum(1 for r in battery if r.passed)
+        print(f"  NIST-style battery: {passed}/{len(battery)} passed")
+        if params.dispersal == 1:
+            prp = pipeline._prps[0]
+            cipher = [prp.encrypt(v) for v in plain_values]
+            outcome = frequency_match_attack(
+                cipher, Counter(plain_values), truth=prp.decrypt
+            )
+            print(f"  frequency attack (perfect model): "
+                  f"{outcome.symbol_accuracy:.1%} of stream positions")
+        else:
+            print("  frequency attack: single site sees only "
+                  f"{params.piece_bits}-bit pieces of every chunk")
+        print()
+
+    print("conclusion (as in the paper): each stage reduces what a "
+          "single site leaks — Stage 2\nflattens chunk frequencies, "
+          "Stage 3 hides whole chunks from every site — but the\n"
+          "residual encoding skew still shows in the statistics: "
+          "'the results do (not yet?)\njustify more than cautious "
+          "optimism', at the price of false positives")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Word search (SWP) next to substring search — the paper's §8 wish.
+
+Runs the same directory slice through both index designs and shows
+what each can and cannot answer, and at what cost.
+"""
+
+from repro import (
+    EncryptedSearchableStore,
+    FrequencyEncoder,
+    SchemeParameters,
+    generate_directory,
+)
+from repro.core.wordsearch import EncryptedWordStore
+
+
+def main() -> None:
+    directory = generate_directory(2000, seed=2006).sample(120, seed=3)
+    corpus = [e.name.encode("ascii") for e in directory]
+
+    params = SchemeParameters.full(4, n_codes=64)
+    substring = EncryptedSearchableStore(
+        params, encoder=FrequencyEncoder.train(corpus, 4, 64)
+    )
+    words = EncryptedWordStore(b"word-demo-key")
+    for entry in directory:
+        substring.put(entry.rid, entry.record_text)
+        words.put(entry.rid, entry.record_text)
+
+    probes = [
+        ("MARTINEZ", "a whole surname"),
+        ("MARTIN", "a prefix of it (substring-only)"),
+        ("ARTI", "an interior fragment (substring-only)"),
+    ]
+    print(f"{'query':10} {'substring scheme':>22} {'SWP words':>16}")
+    for query, label in probes:
+        sub = substring.search(query)
+        word = words.search(query)
+        print(f"{query:10} {len(sub.matches):9} hits "
+              f"({sub.cost.messages:3} msgs) "
+              f"{len(word.matches):7} hits ({word.cost.messages:3} msgs)"
+              f"   # {label}")
+
+    print("\nconjunctive query on the substring scheme "
+          "(one scan round):")
+    result = substring.search_all(["MART", "INEZ"])
+    print(f"  {result.pattern!r} -> {len(result.matches)} matches, "
+          f"{result.cost.messages} messages")
+
+    print("\nanchored queries (paper's 'Schwarz ' with trailing zero):")
+    some = next(iter(directory)).last_name
+    anchored = substring.search(some, anchor_start=True)
+    print(f"  records whose name field STARTS with {some!r}: "
+          f"{len(anchored.matches)}")
+
+    print("\ntrade-off summary: SWP answers word lookups with "
+          "cryptographic precision and 4 msgs,\nbut only the chunk "
+          "scheme answers fragments, prefixes and conjunctions — "
+          "the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

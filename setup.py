@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The modern PEP-660 editable-install path requires the ``wheel``
+package; in fully offline environments without it, ``pip install -e .``
+falls back to this shim (and ``python setup.py develop`` also works).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

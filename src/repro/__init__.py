@@ -1,0 +1,54 @@
+"""repro — reproduction of Schwarz/Tsui/Litwin, ICDE 2006.
+
+An encrypted, content-searchable scalable distributed data structure:
+records are stored strongly encrypted in an LH* file, while weakly
+encrypted *index records* (chunked, lossily compressed, ECB-encrypted,
+dispersed) support parallel substring search with 100 % recall.
+
+Quickstart::
+
+    from repro import EncryptedSearchableStore, SchemeParameters
+
+    store = EncryptedSearchableStore(SchemeParameters.full(4))
+    store.put(7, "415-409-9999 SCHWARZ THOMAS")
+    result = store.search("SCHWARZ")
+    assert 7 in result.matches
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.core import (
+    ConfigurationError,
+    Disperser,
+    EncryptedSearchableStore,
+    FrequencyEncoder,
+    IndexPipeline,
+    QueryTooShortError,
+    SchemeError,
+    SchemeParameters,
+    SearchResult,
+    StorageLayout,
+)
+from repro.data import Directory, generate_directory
+from repro.sdds import LHStarFile, LHStarRSFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EncryptedSearchableStore",
+    "SchemeParameters",
+    "StorageLayout",
+    "FrequencyEncoder",
+    "Disperser",
+    "IndexPipeline",
+    "SearchResult",
+    "SchemeError",
+    "ConfigurationError",
+    "QueryTooShortError",
+    "Directory",
+    "generate_directory",
+    "LHStarFile",
+    "LHStarRSFile",
+    "__version__",
+]

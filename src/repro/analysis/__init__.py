@@ -1,0 +1,53 @@
+"""Analysis substrate: the paper's evaluation instruments.
+
+* :mod:`repro.analysis.ngrams` — unigram/digram/trigram censuses over
+  text or encoded byte streams.
+* :mod:`repro.analysis.chisq` — χ² against the uniform distribution,
+  the headline statistic of the paper's Tables 1-5.
+* :mod:`repro.analysis.entropy` — Shannon entropy estimators (the
+  paper's section 6 discusses bits-per-letter of English).
+* :mod:`repro.analysis.randomness` — a NIST-SP-800-22-style battery
+  (the paper cites Soto/NIST as the next evaluation step; we implement
+  it).
+* :mod:`repro.analysis.attack` — a frequency-analysis attacker model
+  to quantify what "ECB is vulnerable to frequency analysis" means for
+  each configuration.
+"""
+
+from repro.analysis.attack import (
+    bigram_hillclimb_attack,
+    frequency_match_attack,
+    partial_chunk_attack,
+)
+from repro.analysis.chisq import (
+    chi_square_p_value,
+    chi_square_uniform,
+    ngram_chi_square,
+)
+from repro.analysis.collusion import coalition_view, collusion_sweep
+from repro.analysis.entropy import shannon_entropy
+from repro.analysis.model import (
+    code_distribution,
+    collision_index,
+    expected_fp_count,
+)
+from repro.analysis.ngrams import ngram_counts, top_ngrams
+from repro.analysis.randomness import randomness_battery
+
+__all__ = [
+    "ngram_counts",
+    "top_ngrams",
+    "chi_square_uniform",
+    "chi_square_p_value",
+    "ngram_chi_square",
+    "shannon_entropy",
+    "randomness_battery",
+    "frequency_match_attack",
+    "bigram_hillclimb_attack",
+    "partial_chunk_attack",
+    "coalition_view",
+    "collusion_sweep",
+    "code_distribution",
+    "collision_index",
+    "expected_fp_count",
+]

@@ -1,0 +1,101 @@
+"""Collusion analysis of Stage-3 dispersion.
+
+The paper's own caveat (§1): "dispersion is vulnerable against
+collusion among those storing index records.  However, in an SDDS
+environment, collusion should be rather difficult since a node does
+not have access to the data dispersion scheme and consequently cannot
+easily determine the other nodes where a particular index record has
+been dispersed."
+
+This module quantifies the caveat: given a disperser and a plaintext
+chunk-value stream, it reports what a coalition of ``c`` of the ``k``
+dispersal sites can see — the joint piece-tuples — and how much
+structure (χ² skew, distinct-value collapse, reconstructability)
+returns as ``c`` grows.  At ``c = k`` the coalition holds an
+invertible image of every chunk and the scheme degenerates to bare
+ECB.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.analysis.chisq import chi_square_uniform
+from repro.core.dispersion import Disperser
+
+
+@dataclass(frozen=True)
+class CollusionView:
+    """What a specific coalition of dispersal sites observes."""
+
+    sites: tuple[int, ...]
+    #: χ² of the joint piece-tuples against uniform over their space.
+    chi_square: float
+    #: distinct joint values / stream length (1.0 = every chunk looks
+    #: unique, i.e. nothing to frequency-analyse).
+    distinct_ratio: float
+    #: bits of the chunk determined by the coalition (rank of the
+    #: selected matrix columns x piece width).
+    known_bits: int
+    #: True when the coalition can invert dispersal outright.
+    full_reconstruction: bool
+
+
+def coalition_view(
+    disperser: Disperser,
+    values: Sequence[int],
+    sites: Sequence[int],
+) -> CollusionView:
+    """Analyse one coalition against a chunk-value stream."""
+    sites = tuple(sorted(set(sites)))
+    if not sites:
+        raise ValueError("coalition must contain at least one site")
+    if any(not 0 <= s < disperser.k for s in sites):
+        raise ValueError(f"sites must lie in [0, {disperser.k})")
+    if not values:
+        raise ValueError("empty value stream")
+    joint: Counter = Counter()
+    for value in values:
+        pieces = disperser.disperse(value)
+        joint[tuple(pieces[s] for s in sites)] += 1
+    space = disperser.field.order ** len(sites)
+    chi = chi_square_uniform(joint, space)
+    # Rank of the selected columns of E tells how many field symbols
+    # of the chunk the coalition pins down.
+    from repro.gf.matrix import Matrix
+    columns = Matrix(
+        disperser.field,
+        [[disperser.matrix.rows[r][s] for s in sites]
+         for r in range(disperser.k)],
+    )
+    rank = columns.rank()
+    return CollusionView(
+        sites=sites,
+        chi_square=chi,
+        distinct_ratio=len(joint) / len(values),
+        known_bits=rank * disperser.piece_bits,
+        full_reconstruction=rank == disperser.k,
+    )
+
+
+def collusion_sweep(
+    disperser: Disperser,
+    values: Sequence[int],
+    max_coalitions_per_size: int = 6,
+) -> list[CollusionView]:
+    """Views for growing coalition sizes 1 .. k.
+
+    For each size the (lexicographically first) few coalitions are
+    analysed; Cauchy-style matrices make all same-size coalitions
+    equivalent in rank, so a handful suffices.
+    """
+    views = []
+    for size in range(1, disperser.k + 1):
+        for sites in list(combinations(range(disperser.k), size))[
+            :max_coalitions_per_size
+        ]:
+            views.append(coalition_view(disperser, values, sites))
+    return views

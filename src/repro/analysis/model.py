@@ -1,0 +1,113 @@
+"""Analytical false-positive model for encoded-substring search.
+
+The paper measures false positives empirically (Tables 4/5).  This
+module derives the *random-text baseline* those measurements should be
+compared against: if record symbols were drawn independently from the
+encoder's code distribution, a query of codes ``q_1..q_k`` would
+spuriously match at a given offset with probability ``Π p(q_i)``, and
+a record of ``m`` codes offers ``m − k + 1`` offsets.
+
+Real directories are far from independent (names repeat — the paper's
+"Yu"/"Woo" effect), so measured FPs exceed the baseline; the gap *is*
+the interesting quantity: it isolates how much of the FP load comes
+from corpus structure rather than from the encoder's lossiness.  On
+shuffled (independence-restored) corpora the model is accurate, which
+the tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.encoder import FrequencyEncoder
+
+
+def code_distribution(encoder: FrequencyEncoder) -> list[float]:
+    """Empirical probability of each code under the training corpus."""
+    loads = encoder.bucket_loads()
+    total = sum(loads)
+    if total == 0:
+        raise ValueError("encoder has no training mass")
+    return [load / total for load in loads]
+
+
+def collision_index(distribution: Sequence[float]) -> float:
+    """Probability two independent symbols get the same code
+    (Σ p_i²) — 1/n for a perfectly equalised encoder.
+
+    This is the single-number summary of Stage-2 lossiness: the
+    encoder's χ² and this index move together, and both trade against
+    the false-positive rate.
+    """
+    return sum(p * p for p in distribution)
+
+
+def spurious_match_probability(
+    distribution: Sequence[float],
+    query_codes: Sequence[int],
+    record_codes: int,
+) -> float:
+    """P(query matches a random record of ``record_codes`` codes).
+
+    Per-offset match probability is ``Π p(q_i)``; offsets are treated
+    as independent (accurate for small probabilities, the regime the
+    scheme operates in).
+    """
+    if not query_codes:
+        raise ValueError("empty query")
+    per_offset = 1.0
+    for code in query_codes:
+        per_offset *= distribution[code]
+    offsets = record_codes - len(query_codes) + 1
+    if offsets <= 0:
+        return 0.0
+    # 1 - (1 - p)^offsets, computed stably.
+    return -math.expm1(offsets * math.log1p(-per_offset)) \
+        if per_offset < 1.0 else 1.0
+
+
+def expected_fp_count(
+    encoder: FrequencyEncoder,
+    queries: Sequence[bytes],
+    record_lengths: Sequence[int],
+) -> float:
+    """Expected false positives for a symbol-encoding workload.
+
+    ``queries`` are raw query strings (encoded internally);
+    ``record_lengths`` the record sizes in symbols.  Mirrors the
+    Table-4 FP1 experiment under the random-text assumption.
+    """
+    distribution = code_distribution(encoder)
+    total = 0.0
+    for query in queries:
+        codes = list(encoder.encode_symbols(query))
+        for length in record_lengths:
+            total += spurious_match_probability(
+                distribution, codes, length
+            )
+    return total
+
+
+def minimum_query_codes(
+    distribution: Sequence[float],
+    record_codes: int,
+    n_records: int,
+    tolerated_fp: float = 1.0,
+) -> int:
+    """How many query codes keep expected FPs below ``tolerated_fp``.
+
+    A planning helper: with per-symbol match probability ≈ the mean
+    code probability, expected FPs fall geometrically with the query
+    length; this returns the smallest length meeting the budget —
+    the quantitative form of the paper's 'searches for short strings
+    amount to almost all false positives'.
+    """
+    if tolerated_fp <= 0:
+        raise ValueError("tolerated FP budget must be positive")
+    mean_p = collision_index(distribution) ** 0.5
+    for k in range(1, record_codes + 1):
+        expected = n_records * max(record_codes - k + 1, 0) * mean_p ** k
+        if expected <= tolerated_fp:
+            return k
+    return record_codes

@@ -1,0 +1,53 @@
+"""n-gram censuses over record streams.
+
+The paper's χ² tables count single letters, doublets and triplets
+*within* each record (n-grams never straddle record boundaries — each
+directory entry is analysed on its own).  Sequences may be ``str``
+(raw name corpora) or ``bytes`` (encoded/dispersed index streams); the
+n-gram keys are then length-n strings or bytes respectively.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+def ngram_counts(
+    sequences: Iterable[Sequence], n: int
+) -> Counter:
+    """Count n-grams within each sequence of ``sequences``.
+
+    >>> ngram_counts(["ANNA"], 2)
+    Counter({'AN': 1, 'NN': 1, 'NA': 1})
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    counts: Counter = Counter()
+    for sequence in sequences:
+        limit = len(sequence) - n + 1
+        for i in range(limit):
+            counts[sequence[i:i + n]] += 1
+    return counts
+
+
+def top_ngrams(counts: Counter, k: int) -> list[tuple[str, float]]:
+    """The ``k`` most frequent n-grams with their relative share.
+
+    Returns ``(ngram, share)`` pairs, share in [0, 1], ordered by
+    descending count — the format of the paper's Table 1/2 lower halves.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    return [
+        (_as_text(gram), count / total)
+        for gram, count in counts.most_common(k)
+    ]
+
+
+def _as_text(gram) -> str:
+    """Render an n-gram key readably (bytes keys become digit strings)."""
+    if isinstance(gram, bytes):
+        return "".join(str(b) for b in gram)
+    return gram

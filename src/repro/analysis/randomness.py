@@ -1,0 +1,257 @@
+"""A NIST-SP-800-22-style randomness battery.
+
+The paper's section 6: "Ideally, the contents of the dispersed,
+chunked, and preprocessed index records are indistinguishable from
+random bits", citing Knuth and the NIST/Soto AES-selection test work,
+and section 8 announces "we are starting to use the work of Soto to
+evaluate closeness to randomness in a better manner".  This module
+implements that announced next step: seven of the SP-800-22 tests,
+operating on a bit stream, each returning a p-value (null hypothesis:
+the stream is random; conventionally reject below 0.01).
+
+Implemented tests:
+
+* monobit frequency
+* block frequency
+* runs
+* longest run of ones in a block
+* serial (two-bit patterns, ∇ψ² variant)
+* approximate entropy
+* cumulative sums (forward)
+
+Pure math module — no dependency on the rest of the package — so it
+can grade any byte stream the pipeline produces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+
+def bits_of(data: bytes) -> list[int]:
+    """Unpack bytes into a bit list, most significant bit first."""
+    bits = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def regularized_gamma_q(a: float, x: float) -> float:
+    """Upper regularised incomplete gamma Q(a, x).
+
+    Small continued-fraction/series implementation (Numerical Recipes
+    style) so the battery has no scipy dependency.  Also the basis of
+    χ² p-values: P(X² >= chi | df) = Q(df/2, chi/2).
+    """
+    if x < 0 or a <= 0:
+        raise ValueError("invalid igamc arguments")
+    if x == 0:
+        return 1.0
+    if x < a + 1:
+        # Series for P(a,x), return 1 - P.
+        term = 1.0 / a
+        total = term
+        n = a
+        for __ in range(500):
+            n += 1
+            term *= x / n
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        p = total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+        return max(0.0, 1.0 - p)
+    # Continued fraction for Q(a,x).
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+@dataclass(frozen=True)
+class TestResult:
+    name: str
+    p_value: float
+    passed: bool
+
+
+def monobit_test(bits: list[int]) -> TestResult:
+    n = len(bits)
+    s = abs(sum(2 * b - 1 for b in bits))
+    p = math.erfc(s / math.sqrt(2 * n))
+    return TestResult("monobit", p, p >= 0.01)
+
+
+def block_frequency_test(bits: list[int], block_size: int = 128) -> TestResult:
+    n = len(bits)
+    blocks = n // block_size
+    if blocks < 1:
+        raise ValueError("stream too short for block frequency test")
+    chi = 0.0
+    for i in range(blocks):
+        block = bits[i * block_size:(i + 1) * block_size]
+        pi = sum(block) / block_size
+        chi += (pi - 0.5) ** 2
+    chi *= 4 * block_size
+    p = regularized_gamma_q(blocks / 2, chi / 2)
+    return TestResult("block_frequency", p, p >= 0.01)
+
+
+def runs_test(bits: list[int]) -> TestResult:
+    n = len(bits)
+    pi = sum(bits) / n
+    if abs(pi - 0.5) >= 2 / math.sqrt(n):
+        # Prerequisite (monobit) already fails decisively.
+        return TestResult("runs", 0.0, False)
+    runs = 1 + sum(1 for i in range(n - 1) if bits[i] != bits[i + 1])
+    num = abs(runs - 2 * n * pi * (1 - pi))
+    den = 2 * math.sqrt(2 * n) * pi * (1 - pi)
+    p = math.erfc(num / den)
+    return TestResult("runs", p, p >= 0.01)
+
+
+_LONGEST_RUN_TABLES = {
+    # block size: (K classes upper bounds, probabilities) per SP-800-22.
+    8: ((1, 2, 3, 4), (0.2148, 0.3672, 0.2305, 0.1875)),
+    128: (
+        (4, 5, 6, 7, 8, 9),
+        (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124),
+    ),
+}
+
+
+def longest_run_test(bits: list[int]) -> TestResult:
+    n = len(bits)
+    block_size = 128 if n >= 128 * 49 else 8
+    bounds, probabilities = _LONGEST_RUN_TABLES[block_size]
+    blocks = n // block_size
+    if blocks < 8:
+        raise ValueError("stream too short for longest-run test")
+    observed = [0] * len(bounds)
+    for i in range(blocks):
+        block = bits[i * block_size:(i + 1) * block_size]
+        longest = run = 0
+        for bit in block:
+            run = run + 1 if bit else 0
+            longest = max(longest, run)
+        clamped = min(max(longest, bounds[0]), bounds[-1])
+        observed[clamped - bounds[0]] += 1
+    chi = sum(
+        (observed[j] - blocks * probabilities[j]) ** 2
+        / (blocks * probabilities[j])
+        for j in range(len(bounds))
+    )
+    p = regularized_gamma_q((len(bounds) - 1) / 2, chi / 2)
+    return TestResult("longest_run", p, p >= 0.01)
+
+
+def _psi_squared(bits: list[int], m: int) -> float:
+    if m == 0:
+        return 0.0
+    n = len(bits)
+    extended = bits + bits[:m - 1]
+    counts: Counter = Counter()
+    for i in range(n):
+        pattern = tuple(extended[i:i + m])
+        counts[pattern] += 1
+    return (2 ** m / n) * sum(c * c for c in counts.values()) - n
+
+
+def serial_test(bits: list[int], m: int = 3) -> TestResult:
+    psi_m = _psi_squared(bits, m)
+    psi_m1 = _psi_squared(bits, m - 1)
+    psi_m2 = _psi_squared(bits, m - 2)
+    delta1 = psi_m - psi_m1
+    delta2 = psi_m - 2 * psi_m1 + psi_m2
+    p1 = regularized_gamma_q(2 ** (m - 2), delta1 / 2)
+    p2 = regularized_gamma_q(2 ** (m - 3), delta2 / 2)
+    p = min(p1, p2)
+    return TestResult("serial", p, p >= 0.01)
+
+
+def approximate_entropy_test(bits: list[int], m: int = 2) -> TestResult:
+    n = len(bits)
+
+    def phi(block: int) -> float:
+        if block == 0:
+            return 0.0
+        extended = bits + bits[:block - 1]
+        counts: Counter = Counter()
+        for i in range(n):
+            counts[tuple(extended[i:i + block])] += 1
+        return sum(
+            (c / n) * math.log(c / n) for c in counts.values()
+        )
+
+    ap_en = phi(m) - phi(m + 1)
+    chi = 2 * n * (math.log(2) - ap_en)
+    p = regularized_gamma_q(2 ** (m - 1), chi / 2)
+    return TestResult("approximate_entropy", p, p >= 0.01)
+
+
+def cumulative_sums_test(bits: list[int]) -> TestResult:
+    n = len(bits)
+    partial = 0
+    z = 0
+    for bit in bits:
+        partial += 2 * bit - 1
+        z = max(z, abs(partial))
+    if z == 0:
+        return TestResult("cumulative_sums", 0.0, False)
+    total = 0.0
+    sqrt_n = math.sqrt(n)
+
+    def phi_cdf(x: float) -> float:
+        return 0.5 * math.erfc(-x / math.sqrt(2))
+
+    for k in range((-n // z + 1) // 4, (n // z - 1) // 4 + 1):
+        total += (
+            phi_cdf((4 * k + 1) * z / sqrt_n)
+            - phi_cdf((4 * k - 1) * z / sqrt_n)
+        )
+    for k in range((-n // z - 3) // 4, (n // z - 1) // 4 + 1):
+        total -= (
+            phi_cdf((4 * k + 3) * z / sqrt_n)
+            - phi_cdf((4 * k + 1) * z / sqrt_n)
+        )
+    p = 1.0 - total
+    p = min(max(p, 0.0), 1.0)
+    return TestResult("cumulative_sums", p, p >= 0.01)
+
+
+def randomness_battery(data: bytes, serial_m: int = 3) -> list[TestResult]:
+    """Run the full battery on a byte stream.
+
+    Requires at least 256 bytes for the block-structured tests to be
+    meaningful; raises ValueError below that.
+    """
+    if len(data) < 256:
+        raise ValueError("randomness battery needs at least 256 bytes")
+    bits = bits_of(data)
+    return [
+        monobit_test(bits),
+        block_frequency_test(bits),
+        runs_test(bits),
+        longest_run_test(bits),
+        serial_test(bits, serial_m),
+        approximate_entropy_test(bits),
+        cumulative_sums_test(bits),
+    ]

@@ -1,0 +1,122 @@
+"""Standalone experiment runner: ``python -m repro.bench [names...]``.
+
+Runs the paper's experiments at bench scale by default, or at the
+paper's full 282,965-record scale with ``--full``.  With no names, all
+experiments run in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments, extensions
+from repro.data.phonebook import SF_DIRECTORY_SIZE
+
+
+def _run(name: str, directory, args) -> list:
+    exp = experiments
+    if name == "table1":
+        return [exp.exp_table1(directory)]
+    if name == "table2":
+        return [exp.exp_table2(directory)]
+    if name == "table3":
+        return exp.exp_table3(directory)
+    if name == "table4":
+        return exp.exp_table4(directory, sample_size=args.sample)
+    if name == "table5":
+        return exp.exp_table5(directory, sample_size=args.sample)
+    if name == "fig2":
+        return [exp.exp_fig2()]
+    if name == "fig3":
+        return [exp.exp_fig3()]
+    if name == "fig5":
+        return [exp.exp_fig5(directory, sample_size=args.sample)]
+    if name == "storage":
+        return [exp.exp_storage()]
+    if name == "lhstar":
+        return [exp.exp_lhstar()]
+    if name == "elasticity":
+        return [exp.exp_elasticity()]
+    if name == "holdout":
+        return [exp.exp_holdout(directory)]
+    if name == "e2e":
+        return [exp.exp_search_e2e(directory)]
+    if name == "ablation":
+        return [exp.exp_ablation(directory)]
+    if name == "randomness":
+        return [exp.exp_randomness(directory)]
+    if name == "wordsearch":
+        return [extensions.exp_wordsearch(directory)]
+    if name == "compression":
+        return [extensions.exp_compression(directory)]
+    if name == "collusion":
+        return [extensions.exp_collusion(directory)]
+    if name == "edge":
+        return [extensions.exp_edge_defense(directory)]
+    if name == "attack":
+        return [extensions.exp_stage2_attack(directory)]
+    if name == "warsaw":
+        return [extensions.exp_warsaw(sample_size=args.sample)]
+    if name == "designs":
+        return [extensions.exp_index_designs(directory)]
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+ALL = [
+    "table1", "table2", "table3", "table4", "table5",
+    "fig2", "fig3", "fig5",
+    "storage", "lhstar", "elasticity", "e2e", "ablation", "randomness",
+    "wordsearch", "compression", "collusion", "edge", "attack",
+    "warsaw", "holdout", "designs",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", default=ALL,
+                        help=f"experiments to run (default: all of {ALL})")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper-scale 282,965-record directory")
+    parser.add_argument("--records", type=int, default=None,
+                        help="directory size override")
+    parser.add_argument("--sample", type=int, default=1000,
+                        help="sample size for the FP experiments")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each table as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    size = args.records or (
+        SF_DIRECTORY_SIZE if args.full else experiments.DEFAULT_RECORDS
+    )
+    start = time.time()
+    directory = experiments.bench_directory(size)
+    print(f"[directory: {len(directory):,} synthetic entries, "
+          f"{time.time() - start:.1f}s]\n")
+    csv_dir = None
+    if args.csv:
+        import pathlib
+
+        csv_dir = pathlib.Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name in (args.names or ALL):
+        start = time.time()
+        for index, table in enumerate(_run(name, directory, args)):
+            print(table.render())
+            print()
+            if csv_dir is not None:
+                from repro.bench.tables import slugify, to_csv
+
+                suffix = f"-{index}" if index else ""
+                path = csv_dir / f"{name}{suffix}.csv"
+                path.write_text(to_csv(table))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Compression-based index store: the third index design of §8.
+
+The paper's closing section proposes "searchable compression as a main
+means of redundancy removal".  This store realises that design end to
+end, as a sibling of the chunk scheme (§5) and the SWP word store:
+
+* records are strongly encrypted in the record store as usual;
+* the index record of a document is its :class:`PairCompressor`
+  stream with every code passed through a keyed PRP — code-level ECB,
+  so equal codes stay equal and the compressor's edge-variant search
+  still works on ciphertext;
+* a query ships the PRP images of its (up to four) encoded edge
+  variants; sites match them as plain subsequences.
+
+Compared with the chunk scheme: **one** index record per document
+(storage *below* the record size instead of a multiple of it), no
+minimum query length beyond what the variants require, but coarser
+leakage — the code stream preserves the document's compressed length
+and local repetition at code granularity, and there is no dispersion
+stage.  ``benchmarks/bench_index_designs.py`` measures the triangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compression import PairCompressor
+from repro.core.errors import ConfigurationError
+from repro.crypto.feistel import FeistelPRP
+from repro.crypto.keys import KeyHierarchy
+from repro.crypto.modes import CtrCipher
+from repro.net.simulator import Network
+from repro.net.stats import NetworkStats
+from repro.sdds.lhstar import LHStarFile
+from repro.sdds.records import Record
+
+
+@dataclass(frozen=True)
+class CompressedSearchResult:
+    """Outcome of one search against the compressed index."""
+
+    pattern: str
+    candidates: frozenset[int]
+    matches: frozenset[int]
+    false_positives: frozenset[int]
+    cost: NetworkStats
+
+
+class CompressedSearchStore:
+    """Record store + PRP-encrypted compressed index over LH* files.
+
+    >>> corpus = [b"SCHWARZ THOMAS", b"LITWIN WITOLD"]
+    >>> store = CompressedSearchStore(b"key", corpus)
+    >>> store.put(1, "SCHWARZ THOMAS")
+    >>> 1 in store.search("CHWAR").matches
+    True
+    """
+
+    def __init__(
+        self,
+        master_key: bytes,
+        training_corpus: list[bytes],
+        max_pairs: int = 64,
+        lossy_codes: int | None = None,
+        network: Network | None = None,
+        bucket_capacity: int = 128,
+        name: str = "csi",
+    ) -> None:
+        self.compressor = PairCompressor.train(
+            training_corpus, max_pairs=max_pairs, lossy_codes=lossy_codes
+        )
+        if self.compressor.code_width != 1:
+            raise ConfigurationError(
+                "compressed index currently supports one-byte code "
+                "spaces (up to 256 codes); lower max_pairs or use "
+                "lossy_codes"
+            )
+        self.network = network or Network()
+        keys = KeyHierarchy(master_key)
+        self._keys = keys
+        self._record_cipher = CtrCipher(keys.record_store_key())
+        # Code-level ECB: a PRP over the byte code space keeps stream
+        # positions byte-for-byte substitutable.
+        self._prp = FeistelPRP(keys.subkey("compressed-index"), 256)
+        self._code_map = bytes(
+            self._prp.encrypt(code) for code in range(256)
+        )
+        self.record_file = LHStarFile(
+            name=f"{name}-store", network=self.network,
+            bucket_capacity=bucket_capacity,
+        )
+        self.index_file = LHStarFile(
+            name=f"{name}-index", network=self.network,
+            bucket_capacity=bucket_capacity,
+        )
+        self._rids: set[int] = set()
+
+    # -- data plane --------------------------------------------------------------
+
+    def _encrypt_stream(self, stream: bytes) -> bytes:
+        return stream.translate(self._code_map)
+
+    def put(self, rid: int, text: str) -> None:
+        content = text.encode("ascii")
+        self.record_file.insert(
+            rid,
+            self._record_cipher.encrypt(
+                content, self._keys.record_nonce(rid)
+            ),
+        )
+        stream = self.compressor.encode(content)
+        self.index_file.insert(rid, self._encrypt_stream(stream))
+        self._rids.add(rid)
+
+    def get(self, rid: int) -> str | None:
+        ciphertext = self.record_file.lookup(rid)
+        if ciphertext is None:
+            return None
+        return self._record_cipher.decrypt(
+            ciphertext, self._keys.record_nonce(rid)
+        ).decode("ascii")
+
+    def delete(self, rid: int) -> bool:
+        removed = self.record_file.delete(rid)
+        if removed:
+            self.index_file.delete(rid)
+            self._rids.discard(rid)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._rids)
+
+    # -- search ---------------------------------------------------------------------
+
+    def search(self, pattern: str, verify: bool = True
+               ) -> CompressedSearchResult:
+        """One-round parallel search via encrypted edge variants."""
+        raw_variants = self.compressor.pattern_variants(
+            pattern.encode("ascii")
+        )
+        needles = tuple(
+            self._encrypt_stream(variant) for variant in raw_variants
+        )
+        before = self.network.stats.snapshot()
+
+        def matcher(record: Record):
+            if any(needle in record.content for needle in needles):
+                return record.rid
+            return None
+
+        hits = self.index_file.scan(
+            matcher,
+            request_size=sum(len(n) for n in needles),
+        )
+        candidates = set(hits)
+        if verify:
+            matches = {
+                rid
+                for rid in candidates
+                if (text := self.get(rid)) is not None and pattern in text
+            }
+        else:
+            matches = set(candidates)
+        return CompressedSearchResult(
+            pattern=pattern,
+            candidates=frozenset(candidates),
+            matches=frozenset(matches),
+            false_positives=frozenset(candidates - matches),
+            cost=self.network.stats.delta(before),
+        )
+
+    def index_bytes(self) -> int:
+        """Total stored index bytes (the design's headline economy)."""
+        return sum(
+            len(record.content)
+            for record in self.index_file.all_records()
+        )

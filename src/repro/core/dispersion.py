@@ -1,0 +1,145 @@
+"""Stage 3: dispersion of index chunks over k sites.
+
+Section 4 of the paper: a chunk of ``c = g·k`` bits is read as a row
+vector ``c = (c_1, …, c_k)`` over Φ = GF(2^g); with an invertible
+k×k matrix ``E`` (all coefficients nonzero — Cauchy/Vandermonde
+style), the dispersed pieces are ``d = c · E`` and piece ``d_i`` goes
+to dispersal site ``i``.  Because every ``d_i`` depends on the whole
+chunk, single-site frequency analysis degrades; because ``E`` is
+invertible, equality of chunks is preserved piecewise, so
+chunk-aligned search still works site-by-site (intersecting hit
+offsets across the k sites of a chunking group).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import ConfigurationError
+from repro.gf import GF2, Matrix, default_cauchy_matrix, random_nonsingular_matrix
+
+
+class Disperser:
+    """Splits chunk values of ``piece_bits · k`` bits into k pieces.
+
+    ``matrix`` defaults to the canonical Cauchy matrix (the paper's
+    recommendation); pass ``seed`` to sample a random non-singular
+    matrix instead (the paper's Table-2 experiment).
+
+    >>> d = Disperser(k=4, piece_bits=2, seed=42)
+    >>> d.recover(d.disperse(0b1011001))
+    89
+    """
+
+    def __init__(
+        self,
+        k: int,
+        piece_bits: int,
+        matrix: Matrix | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if k < 2:
+            raise ConfigurationError("dispersion needs k >= 2 sites")
+        if not 1 <= piece_bits <= 16:
+            raise ConfigurationError("piece size must be 1..16 bits")
+        self.k = k
+        self.piece_bits = piece_bits
+        self.chunk_bits = piece_bits * k
+        self.field = GF2(piece_bits)
+        if matrix is None:
+            if seed is not None:
+                matrix = random_nonsingular_matrix(
+                    self.field, k, random.Random(seed)
+                )
+            elif 2 * k <= self.field.order:
+                matrix = default_cauchy_matrix(self.field, k)
+            else:
+                # Field too small for a Cauchy matrix (e.g. GF(2), k=4):
+                # fall back to a deterministic random non-singular one.
+                matrix = random_nonsingular_matrix(
+                    self.field, k, random.Random(0)
+                )
+        if matrix.nrows != k or matrix.ncols != k:
+            raise ConfigurationError(
+                f"dispersion matrix must be {k}x{k}"
+            )
+        if matrix.field is not self.field:
+            raise ConfigurationError(
+                f"dispersion matrix must live in GF(2^{piece_bits})"
+            )
+        if not matrix.is_invertible():
+            raise ConfigurationError("dispersion matrix must be invertible")
+        self.matrix = matrix
+        self._inverse = matrix.inverse()
+        self._mask = (1 << piece_bits) - 1
+        # For small chunk domains (<= 16 bits), dispersal is a pure
+        # function of the chunk value — precompute it once so bulk
+        # dispersal is a table lookup instead of k GF dot products.
+        self._table: list[tuple[int, ...]] | None = None
+
+    # -- chunk <-> piece vector ---------------------------------------------
+
+    def split(self, value: int) -> tuple[int, ...]:
+        """Big-endian split of a chunk value into k field elements."""
+        if not 0 <= value < (1 << self.chunk_bits):
+            raise ValueError(
+                f"chunk value {value} outside {self.chunk_bits}-bit range"
+            )
+        g = self.piece_bits
+        return tuple(
+            (value >> (g * (self.k - 1 - i))) & self._mask
+            for i in range(self.k)
+        )
+
+    def join(self, pieces: tuple[int, ...]) -> int:
+        if len(pieces) != self.k:
+            raise ValueError(f"expected {self.k} pieces")
+        value = 0
+        for piece in pieces:
+            value = (value << self.piece_bits) | (piece & self._mask)
+        return value
+
+    # -- dispersion ------------------------------------------------------------
+
+    def disperse(self, value: int) -> tuple[int, ...]:
+        """``d = c · E`` — the per-site pieces of one chunk."""
+        if self._table is not None:
+            return self._table[value]
+        return self.matrix.mul_vector(self.split(value))
+
+    def _ensure_table(self) -> None:
+        if self._table is None and self.chunk_bits <= 16:
+            self._table = [
+                self.matrix.mul_vector(self.split(value))
+                for value in range(1 << self.chunk_bits)
+            ]
+
+    def recover(self, pieces: tuple[int, ...]) -> int:
+        """Invert :meth:`disperse` (requires all k pieces)."""
+        if len(pieces) != self.k:
+            raise ValueError(f"expected {self.k} pieces")
+        return self.join(self._inverse.mul_vector(tuple(pieces)))
+
+    def disperse_stream(self, values: list[int]) -> list[list[int]]:
+        """Disperse a chunk stream; returns k per-site piece streams."""
+        self._ensure_table()
+        streams: list[list[int]] = [[] for __ in range(self.k)]
+        for value in values:
+            for i, piece in enumerate(self.disperse(value)):
+                streams[i].append(piece)
+        return streams
+
+    @property
+    def piece_width(self) -> int:
+        """Bytes per packed piece."""
+        return (self.piece_bits + 7) // 8
+
+    def pack_stream(self, pieces: list[int]) -> bytes:
+        """Pack one site's piece stream at fixed byte width."""
+        width = self.piece_width
+        if width == 1:
+            return bytes(pieces)
+        out = bytearray()
+        for piece in pieces:
+            out += piece.to_bytes(width, "big")
+        return bytes(out)

@@ -1,0 +1,169 @@
+"""The index-record pipeline: chunk → (encode) → (ECB) → (disperse).
+
+One :class:`IndexPipeline` instance holds the trained Stage-2 encoder,
+the per-chunking Stage-1 permutations and the Stage-3 disperser, and
+turns record content into the per-site index streams of the paper's
+Figure 3 — and, symmetrically, turns a search pattern into the
+per-(chunking, alignment, site) needle streams.
+
+Stream representation: every stored element (a dispersed piece, or the
+whole chunk value when k = 1) is packed big-endian at a fixed byte
+width, so index records are plain ``bytes`` and matching is C-level
+``bytes.find`` with alignment checks (see :mod:`repro.core.search`).
+"""
+
+from __future__ import annotations
+
+from repro.core.chunking import query_series, record_chunks
+from repro.core.config import SchemeParameters
+from repro.core.dispersion import Disperser
+from repro.core.encoder import FrequencyEncoder
+from repro.core.errors import ConfigurationError
+from repro.core.search import SearchPlan
+from repro.crypto.feistel import FeistelPRP
+from repro.crypto.keys import KeyHierarchy
+
+
+class IndexPipeline:
+    """Builds index streams and query needles for one configuration."""
+
+    def __init__(
+        self,
+        params: SchemeParameters,
+        encoder: FrequencyEncoder | None = None,
+    ) -> None:
+        if (params.n_codes is None) != (encoder is None):
+            raise ConfigurationError(
+                "encoder must be supplied exactly when n_codes is set"
+            )
+        if encoder is not None:
+            if encoder.chunk_size != params.chunk_bytes:
+                raise ConfigurationError(
+                    f"encoder chunk size {encoder.chunk_size} bytes != "
+                    f"scheme chunk size {params.chunk_bytes} bytes "
+                    f"({params.chunk_size} symbols x "
+                    f"{params.symbol_width})"
+                )
+            if encoder.n_codes != params.n_codes:
+                raise ConfigurationError(
+                    f"encoder has {encoder.n_codes} codes, scheme expects "
+                    f"{params.n_codes}"
+                )
+        self.params = params
+        self.encoder = encoder
+        keys = KeyHierarchy(params.master_key)
+        self._prps: list[FeistelPRP | None] = []
+        for index in range(params.layout.group_count):
+            if params.encrypt:
+                self._prps.append(
+                    FeistelPRP(keys.chunking_key(index), params.value_domain)
+                )
+            else:
+                self._prps.append(None)
+        if params.dispersal > 1:
+            self.disperser: Disperser | None = Disperser(
+                k=params.dispersal, piece_bits=params.piece_bits
+            )
+        else:
+            self.disperser = None
+
+    # -- chunk values ------------------------------------------------------
+
+    def chunk_value(self, chunk: bytes) -> int:
+        """Stage-2 view of one chunk: its code, or its raw packing."""
+        if self.encoder is not None:
+            return self.encoder.encode_chunk(chunk)
+        return int.from_bytes(chunk, "big")
+
+    def _transform(self, chunks: list[bytes], group_index: int) -> list[int]:
+        """encode + encrypt one chunk list under one chunking's key."""
+        values = [self.chunk_value(chunk) for chunk in chunks]
+        prp = self._prps[group_index]
+        if prp is not None:
+            values = [prp.encrypt(value) for value in values]
+        return values
+
+    def _pack_values(self, values: list[int]) -> bytes:
+        width = self.params.piece_width
+        if width == 1:
+            return bytes(values)
+        out = bytearray()
+        for value in values:
+            out += value.to_bytes(width, "big")
+        return bytes(out)
+
+    def _site_streams(self, values: list[int]) -> list[bytes]:
+        """Stage 3: one packed stream per dispersal site (k = 1 → one)."""
+        if self.disperser is None:
+            return [self._pack_values(values)]
+        return [
+            self.disperser.pack_stream(stream)
+            for stream in self.disperser.disperse_stream(values)
+        ]
+
+    # -- record side ----------------------------------------------------------
+
+    def build_index_streams(
+        self, content: bytes
+    ) -> dict[tuple[int, int], bytes]:
+        """All index streams of one record.
+
+        Returns ``(chunking_index, site) -> packed stream``; the
+        paper's Figure 3 stores each under its own key in the index
+        SDDS.
+        """
+        layout = self.params.layout
+        streams: dict[tuple[int, int], bytes] = {}
+        for group_index, offset in enumerate(layout.offsets):
+            chunks = record_chunks(
+                content,
+                layout.chunk_size,
+                offset,
+                drop_partial=self.params.drop_partial_chunks,
+                symbol_width=self.params.symbol_width,
+            )
+            values = self._transform(chunks, group_index)
+            for site, stream in enumerate(self._site_streams(values)):
+                streams[(group_index, site)] = stream
+        return streams
+
+    # -- query side --------------------------------------------------------------
+
+    def plan_query(self, pattern: bytes) -> SearchPlan:
+        """Needle streams for every (chunking, alignment, site).
+
+        The same series must be prepared once per stored chunking
+        because each chunking encrypts under its own key.
+        """
+        layout = self.params.layout
+        width = self.params.symbol_width
+        if len(pattern) % width:
+            raise ConfigurationError(
+                f"pattern of {len(pattern)} bytes is not a whole "
+                f"number of {width}-byte symbols"
+            )
+        alignments = layout.query_alignments(len(pattern) // width)
+        needles: dict[tuple[int, int], tuple[bytes, ...]] = {}
+        for group_index in range(layout.group_count):
+            for alignment in alignments:
+                chunks = query_series(
+                    pattern, layout.chunk_size, alignment,
+                    symbol_width=width,
+                )
+                values = self._transform(chunks, group_index)
+                needles[(group_index, alignment)] = tuple(
+                    self._site_streams(values)
+                )
+        if self.params.aggregation == "any":
+            required = 1
+        else:
+            required = max(1, len(alignments) // layout.stride)
+        return SearchPlan(
+            pattern=pattern,
+            needles=needles,
+            piece_width=self.params.piece_width,
+            sites=self.params.dispersal if self.disperser else 1,
+            group_count=layout.group_count,
+            alignments=tuple(alignments),
+            required_groups=min(required, layout.group_count),
+        )

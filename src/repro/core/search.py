@@ -1,0 +1,175 @@
+"""Search-side machinery: aligned matching and hit aggregation.
+
+Matching is chunk-aligned consecutive equality (paper section 2.3:
+sites "try to match consecutive chunks").  Because streams are packed
+at a fixed byte width, an occurrence of the needle bytes at byte
+offset ``b`` is a chunk-aligned hit iff ``b % width == 0``; the chunk
+position is then ``b // width``.
+
+Aggregation implements the paper's two-level rule:
+
+1. **within a chunking group** (Figure 3): all ``k`` dispersal sites
+   must hit *at the same offset* — set intersection of per-site
+   position sets, per alignment;
+2. **across chunking groups**: a record is a candidate when at least
+   ``required_groups`` groups report a hit — ``s`` of ``s`` for the
+   full layout of section 2.3 ("all sites indeed report a hit"), any
+   single group for the reduced layouts of section 2.5 ("only one
+   site will report a hit").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+def aligned_find(haystack: bytes, needle: bytes, width: int) -> list[int]:
+    """Chunk positions where ``needle`` occurs chunk-aligned.
+
+    >>> aligned_find(b"ABCD", b"CD", 2)
+    [1]
+    >>> aligned_find(b"ABCD", b"BC", 2)
+    []
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if not needle:
+        raise ValueError("empty needle")
+    positions = []
+    start = haystack.find(needle)
+    while start != -1:
+        if start % width == 0:
+            positions.append(start // width)
+        start = haystack.find(needle, start + 1)
+    return positions
+
+
+@dataclass(frozen=True)
+class SearchPlan:
+    """Everything a site or aggregator needs to execute one query.
+
+    ``needles[(group, alignment)]`` is the tuple of per-site packed
+    needle streams for that chunking/alignment pair.
+    """
+
+    pattern: bytes
+    needles: dict[tuple[int, int], tuple[bytes, ...]]
+    piece_width: int
+    sites: int
+    group_count: int
+    alignments: tuple[int, ...]
+    required_groups: int
+
+    def match_site(
+        self, group: int, site: int, stream: bytes
+    ) -> dict[int, list[int]]:
+        """Hits of one site's index stream: alignment -> positions."""
+        hits: dict[int, list[int]] = {}
+        for alignment in self.alignments:
+            needle = self.needles[(group, alignment)][site]
+            positions = aligned_find(stream, needle, self.piece_width)
+            if positions:
+                hits[alignment] = positions
+        return hits
+
+    def request_size(self) -> int:
+        """Accounted wire size of shipping all needles to one site."""
+        return sum(
+            len(stream)
+            for streams in self.needles.values()
+            for stream in streams
+        )
+
+
+@dataclass
+class SiteHit:
+    """One site's report for one record: where each alignment matched."""
+
+    rid: int
+    group: int
+    site: int
+    positions: dict[int, list[int]] = field(default_factory=dict)
+
+
+class HitAggregator:
+    """Client-side combination of site reports into candidate RIDs."""
+
+    def __init__(self, plan: SearchPlan) -> None:
+        self.plan = plan
+        # rid -> group -> site -> alignment -> positions
+        self._reports: dict[
+            int, dict[int, dict[int, dict[int, list[int]]]]
+        ] = defaultdict(lambda: defaultdict(dict))
+
+    def add(self, hit: SiteHit) -> None:
+        self._reports[hit.rid][hit.group][hit.site] = hit.positions
+
+    def add_all(self, hits: Iterable[SiteHit]) -> None:
+        for hit in hits:
+            self.add(hit)
+
+    def _group_hit(
+        self, sites: dict[int, dict[int, list[int]]]
+    ) -> bool:
+        """Within-group rule: some alignment matches at a common
+        position on every dispersal site."""
+        if len(sites) < self.plan.sites:
+            return False
+        for alignment in self.plan.alignments:
+            common: set[int] | None = None
+            for site in range(self.plan.sites):
+                positions = sites[site].get(alignment)
+                if not positions:
+                    common = None
+                    break
+                if common is None:
+                    common = set(positions)
+                else:
+                    common &= set(positions)
+                if not common:
+                    break
+            if common:
+                return True
+        return False
+
+    def candidates(self) -> set[int]:
+        """RIDs passing the across-groups threshold."""
+        result = set()
+        for rid, groups in self._reports.items():
+            hitting = sum(
+                1 for sites in groups.values() if self._group_hit(sites)
+            )
+            if hitting >= self.plan.required_groups:
+                result.add(rid)
+        return result
+
+    def group_hits(self, rid: int) -> list[int]:
+        """Which chunking groups hit for ``rid`` (diagnostics)."""
+        groups = self._reports.get(rid, {})
+        return sorted(
+            group
+            for group, sites in groups.items()
+            if self._group_hit(sites)
+        )
+
+    def intersected_positions(
+        self, rid: int, group: int, alignment: int
+    ) -> set[int]:
+        """Chunk positions where all sites of ``group`` agree for one
+        alignment — used by anchored queries that must pin a hit to a
+        specific offset (e.g. position 0 for start-anchored search)."""
+        sites = self._reports.get(rid, {}).get(group)
+        if not sites or len(sites) < self.plan.sites:
+            return set()
+        common: set[int] | None = None
+        for site in range(self.plan.sites):
+            positions = sites[site].get(alignment)
+            if not positions:
+                return set()
+            if common is None:
+                common = set(positions)
+            else:
+                common &= set(positions)
+        return common or set()

@@ -1,0 +1,202 @@
+"""Name pools for the synthetic SF directory.
+
+Pools carry integer weights (relative frequencies).  The mix is tuned
+so the aggregate letter statistics reproduce the *shape* of the paper's
+Table 1: top letters A, E, N, R, I, O; top digrams AN, ER, AR, ON, IN;
+top trigrams CHA, MAR, SON, ONG, ANG.  The tuning is checked by
+``tests/data/test_phonebook.py`` so future edits cannot silently break
+the calibration the benchmarks rely on.
+
+The paper notes "because of the heavy presence of Asian names, the
+frequency distribution of letters is somewhat unusual" and traces
+almost all search false positives to short names (YU, OU, IP, BA, WU,
+LI, LE) and 3-letter names (WOO, KAY, KIM, LEE, SEE, MAI, LIM, MAK,
+LEW).  All of these appear here with substantial weight.
+"""
+
+from __future__ import annotations
+
+# (name, weight) — Asian surnames, with the paper's short names
+# prominently represented.
+ASIAN_SURNAMES: list[tuple[str, int]] = [
+    ("CHAN", 90), ("CHANG", 75), ("CHEN", 70), ("WONG", 88), ("WANG", 55),
+    ("HUANG", 48), ("ZHANG", 40), ("YANG", 52), ("TANG", 38), ("FONG", 30),
+    ("ONG", 26), ("TONG", 28), ("CHONG", 24), ("CHEUNG", 40), ("LEUNG", 42),
+    ("KWONG", 22), ("TRUONG", 20), ("PHAN", 24), ("TRAN", 48), ("NGUYEN", 62),
+    ("PHAM", 30), ("HOANG", 26), ("DANG", 22), ("LUONG", 16), ("DUONG", 18),
+    ("CHANDRA", 10), ("CHA", 18), ("CHAU", 22), ("CHANCE", 4),
+    ("LEE", 130), ("KIM", 80), ("PARK", 40), ("CHOI", 28), ("KANG", 30),
+    ("WOO", 45), ("KAY", 30), ("SEE", 32), ("MAI", 34), ("LIM", 42),
+    ("MAK", 32), ("LEW", 33), ("LOW", 20), ("LAU", 38), ("LAM", 48),
+    ("YU", 60), ("OU", 35), ("IP", 32), ("BA", 28), ("WU", 55),
+    ("LI", 58), ("LE", 52), ("NG", 40), ("HO", 45), ("MA", 38),
+    ("HU", 22), ("XU", 18), ("LU", 26), ("SU", 18), ("KO", 20),
+    ("YEE", 30), ("GEE", 16), ("DER", 12), ("ENG", 22), ("CHIN", 26),
+    ("CHINN", 8), ("CHEW", 18), ("CHOW", 30), ("CHU", 28), ("CHUNG", 34),
+    ("SONG", 24), ("SOON", 10), ("KWAN", 22), ("QUAN", 18), ("YUAN", 14),
+    ("SHEN", 16), ("ZHENG", 16), ("ZHOU", 14), ("ZHU", 12), ("GUAN", 10),
+    ("HAN", 22), ("SUN", 18), ("WAN", 16), ("YAN", 20), ("PAN", 18),
+    ("TAN", 30), ("GAN", 10), ("MAN", 12), ("SHAN", 8), ("LIANG", 22),
+    ("JIANG", 14), ("XIANG", 8), ("KUANG", 8), ("SITU", 6), ("AKIMOTO", 8),
+    ("TANAKA", 14), ("YAMADA", 10), ("SATO", 12), ("SAITO", 8), ("MORI", 8),
+    ("NAKAMURA", 10), ("YOSHIDA", 8), ("HARADA", 6), ("ONO", 8), ("KONDO", 6),
+]
+
+# Western / Hispanic surnames: sources of ER/AR/ON digrams and
+# MAR/SON trigrams.
+WESTERN_SURNAMES: list[tuple[str, int]] = [
+    ("ANDERSON", 60), ("JOHNSON", 70), ("WILSON", 55), ("JACKSON", 45),
+    ("NELSON", 40), ("ROBINSON", 35), ("THOMPSON", 42), ("HANSON", 22),
+    ("LARSON", 24), ("CARLSON", 20), ("OLSON", 18), ("SIMPSON", 16),
+    ("HENDERSON", 20), ("PETERSON", 38), ("RICHARDSON", 22), ("SANDERSON", 8),
+    ("MARTIN", 55), ("MARTINEZ", 65), ("MARINO", 14), ("MARSHALL", 24),
+    ("MARQUEZ", 16), ("MARSH", 12), ("MARCH", 6), ("MARLOW", 6),
+    ("GARCIA", 58), ("HERNANDEZ", 50), ("RODRIGUEZ", 52), ("GONZALEZ", 48),
+    ("LOPEZ", 44), ("PEREZ", 40), ("SANCHEZ", 38), ("RAMIREZ", 34),
+    ("TORRES", 28), ("RIVERA", 26), ("FERNANDEZ", 22), ("ALVAREZ", 20),
+    ("ALBAREZ", 6), ("CHAVEZ", 22), ("MORALES", 24), ("ORTEGA", 16),
+    ("SANTANA", 14), ("SERRANO", 12), ("ARELLANO", 8), ("ARBELAEZ", 4),
+    ("SMITH", 48), ("BROWN", 38), ("WILLIAMS", 42), ("JONES", 36),
+    ("MILLER", 40), ("DAVIS", 34), ("MOORE", 26), ("TAYLOR", 30),
+    ("WALKER", 26), ("TURNER", 22), ("PARKER", 22), ("CARTER", 24),
+    ("BAKER", 22), ("HARRIS", 26), ("WARREN", 14), ("WARNER", 12),
+    ("ARNOLD", 14), ("ARTHUR", 8), ("BARNES", 18), ("BARBER", 10),
+    ("GARNER", 10), ("HARPER", 12), ("CHAMBERS", 12), ("CHANDLER", 12),
+    ("CHAPMAN", 14), ("CHARLES", 10), ("RICHARDS", 14), ("EDWARDS", 18),
+    ("ANDREWS", 14), ("ARMSTRONG", 14), ("ARMENANTE", 3), ("ALEXANDER", 18),
+    ("ALGAHIEM", 3), ("ALGHAZALY", 3), ("AFDAHL", 3), ("ABOGADO", 4),
+    ("ADAMS", 22), ("ADAMSON", 6), ("ANTHONY", 10), ("ANTON", 6),
+    ("SANTOS", 18), ("ROMERO", 14), ("RAMOS", 16), ("REYES", 18),
+    ("MORENO", 12), ("MENDOZA", 14), ("CASTRO", 14), ("ORTIZ", 14),
+    ("CORTEZ", 10), ("DURAN", 8), ("ROLDAN", 4), ("MILAN", 4),
+    ("SCHWARZ", 3), ("LITWIN", 2), ("TSUI", 6), ("GRAY", 10),
+    ("GREEN", 16), ("GREENE", 8), ("KELLER", 10), ("MEYER", 14),
+    ("REED", 14), ("BELL", 10), ("WEBER", 8), ("PETERSEN", 10),
+    ("FREEMAN", 10), ("STEELE", 6), ("BENNETT", 12), ("MITCHELL", 14),
+    ("CAMPBELL", 14), ("KENNEDY", 10), ("SWEENEY", 6), ("MCGEE", 6),
+]
+
+# Given names: phonebooks list them second ("SURNAME GIVEN").  MAR/ANA
+# rich pool drives the MAR trigram; AN-heavy names drive the AN digram.
+GIVEN_NAMES: list[tuple[str, int]] = [
+    ("MARIA", 70), ("MARK", 40), ("MARCO", 18), ("MARGARET", 26),
+    ("MARTHA", 22), ("MARIO", 24), ("MARTIN", 16), ("MARIANA", 10),
+    ("MARILYN", 14), ("MARVIN", 10), ("MARGARITA", 12), ("MARCIA", 8),
+    ("ANA", 32), ("ANNA", 36), ("ANNE", 22), ("ANDREW", 30),
+    ("ANDREA", 24), ("ANGELA", 28), ("ANGEL", 16), ("ANTHONY", 34),
+    ("ANTONIO", 26), ("ANITA", 16), ("ANDRE", 12), ("ANGELINA", 10),
+    ("JUAN", 36), ("JUANA", 10), ("SUSAN", 30), ("SUSANA", 8),
+    ("DIANA", 18), ("DIANE", 18), ("JOAN", 14), ("JOANNA", 10),
+    ("BRIAN", 24), ("RYAN", 14), ("ALAN", 16), ("ALLAN", 8),
+    ("NATHAN", 12), ("JONATHAN", 18), ("DANIEL", 30), ("DANNY", 12),
+    ("FRANK", 24), ("FRANCES", 14), ("FRANCISCO", 20), ("FERNANDO", 14),
+    ("ALEJANDRO", 14), ("ALEXANDER", 12), ("ALEXANDRA", 10), ("SANDRA", 22),
+    ("AMANDA", 14), ("ARMANDO", 10), ("ORLANDO", 8), ("ROLANDO", 6),
+    ("WILLIAM", 40), ("ROBERT", 44), ("RICHARD", 38), ("EDWARD", 28),
+    ("CHARLES", 30), ("CHRISTINE", 20), ("CHRISTINA", 18), ("CHRISTOPHER", 22),
+    ("CATHERINE", 18), ("KATHERINE", 16), ("ELIZABETH", 24), ("PATRICIA", 26),
+    ("ERIC", 22), ("ERIN", 10), ("IRENE", 16), ("KAREN", 24),
+    ("HELEN", 20), ("ELLEN", 12), ("ELENA", 12), ("VERONICA", 10),
+    ("TERESA", 16), ("THERESA", 10), ("ROSA", 16), ("ROSE", 14),
+    ("GINA", 12), ("NINA", 8), ("TINA", 10), ("LINDA", 26),
+    ("NANCY", 22), ("PETER", 26), ("PAUL", 26), ("PAULA", 12),
+    ("PEDRO", 12), ("CARLOS", 24), ("CARMEN", 16), ("CAROL", 18),
+    ("CAROLINA", 8), ("ADRIAN", 12), ("ADRIANA", 8), ("ALBERT", 16),
+    ("ALBERTO", 10), ("ARTURO", 8), ("ARTHUR", 14), ("ERNESTO", 8),
+    ("ERNEST", 10), ("EUGENE", 10), ("GEORGE", 24), ("GERALD", 12),
+    ("GERARDO", 8), ("RAYMOND", 18), ("RONALD", 18), ("DONALD", 18),
+    ("HOWARD", 12), ("HENRY", 18), ("HARRY", 10), ("LARRY", 12),
+    ("BARRY", 8), ("JERRY", 12), ("TERRY", 10), ("GARY", 14),
+    ("KEVIN", 20), ("KENNETH", 18), ("STEVEN", 22), ("STEPHEN", 16),
+    ("STEPHANIE", 14), ("JENNIFER", 22), ("JESSICA", 16), ("MICHAEL", 40),
+    ("MICHELLE", 18), ("DAVID", 40), ("JAMES", 38), ("JOHN", 42),
+    ("THOMAS", 30), ("JOSE", 32), ("JOSEPH", 28), ("JOSEFINA", 6),
+    ("MING", 14), ("WING", 12), ("KWOK", 10), ("WAI", 14),
+    ("MEI", 14), ("LAI", 10), ("YUK", 8), ("SIU", 10),
+    ("KAM", 8), ("MAN", 10), ("CHI", 12), ("YING", 12),
+    ("HONG", 10), ("HUNG", 8), ("THANH", 10), ("MINH", 10),
+    ("LAN", 10), ("HOA", 8), ("TUAN", 8), ("ANH", 10),
+    ("YOSHIMI", 4), ("HIROSHI", 4), ("KENJI", 4), ("YUKI", 4),
+    ("EBREHIM", 2), ("LIBIA", 2), ("WITOLD", 1), ("GRAZYNA", 1),
+    ("RENEE", 12), ("EILEEN", 10), ("STEVE", 14), ("GENE", 8),
+    ("MICHELE", 8), ("CELESTE", 6), ("DELORES", 6), ("EUGENIA", 4),
+    ("ESTELLE", 4), ("ETHEL", 6), ("EMILY", 12), ("EMMA", 8),
+    ("ELAINE", 10), ("ESTHER", 10), ("EDITH", 8), ("EVELYN", 10),
+]
+
+#: Middle parts: single initials used by entries like "AFDAHL E".
+INITIALS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+# The paper's aside: short Asian surnames cause almost all false
+# positives, "which would indicate that the Warsaw phonebook might
+# have been a better choice for our database."  These pools build
+# that counterfactual corpus: long Polish surnames (ASCII-folded),
+# nothing under five letters.
+POLISH_SURNAMES: list[tuple[str, int]] = [
+    ("KOWALSKI", 90), ("NOWAK", 95), ("WISNIEWSKI", 70),
+    ("WOJCIK", 60), ("KOWALCZYK", 58), ("KAMINSKI", 55),
+    ("LEWANDOWSKI", 55), ("ZIELINSKI", 50), ("SZYMANSKI", 50),
+    ("WOZNIAK", 48), ("DABROWSKI", 46), ("KOZLOWSKI", 44),
+    ("JANKOWSKI", 42), ("MAZUR", 40), ("WOJCIECHOWSKI", 38),
+    ("KWIATKOWSKI", 38), ("KRAWCZYK", 36), ("KACZMAREK", 36),
+    ("PIOTROWSKI", 34), ("GRABOWSKI", 34), ("ZAJAC", 30),
+    ("PAWLOWSKI", 30), ("MICHALSKI", 30), ("KROL", 18),
+    ("NOWAKOWSKI", 28), ("WIECZOREK", 28), ("JABLONSKI", 26),
+    ("WROBEL", 26), ("MAJEWSKI", 26), ("OLSZEWSKI", 24),
+    ("STEPIEN", 24), ("MALINOWSKI", 24), ("JAWORSKI", 22),
+    ("ADAMCZYK", 22), ("DUDEK", 20), ("NOWICKI", 20),
+    ("PAWLAK", 20), ("GORSKI", 20), ("WITKOWSKI", 20),
+    ("SIKORA", 18), ("WALCZAK", 18), ("BARAN", 16),
+    ("RUTKOWSKI", 16), ("MICHALAK", 16), ("SZEWCZYK", 16),
+    ("OSTROWSKI", 16), ("TOMASZEWSKI", 16), ("PIETRZAK", 14),
+    ("ZALEWSKI", 14), ("WROBLEWSKI", 14), ("MARCINIAK", 14),
+    ("JASINSKI", 14), ("SADOWSKI", 12), ("BAK", 6),
+    ("ZAWADZKI", 12), ("DUDA", 10), ("CHMIELEWSKI", 12),
+    ("WLODARCZYK", 12), ("BOROWSKI", 10), ("CZARNECKI", 10),
+    ("SAWICKI", 10), ("SOKOLOWSKI", 10), ("URBANSKI", 10),
+    ("KUBIAK", 10), ("MACIEJEWSKI", 10), ("SZCZEPANSKI", 10),
+    ("KUCHARSKI", 8), ("WILK", 8), ("KALINOWSKI", 8),
+    ("LITWIN", 6), ("SCHWARZ", 2), ("MAZUREK", 8),
+    ("KOLODZIEJ", 8), ("SOBCZAK", 8), ("GAJEWSKI", 8),
+]
+
+POLISH_GIVEN: list[tuple[str, int]] = [
+    ("JAN", 60), ("ANDRZEJ", 55), ("PIOTR", 50), ("KRZYSZTOF", 50),
+    ("STANISLAW", 45), ("TOMASZ", 42), ("PAWEL", 40), ("JOZEF", 38),
+    ("MARCIN", 36), ("MAREK", 36), ("MICHAL", 34), ("GRZEGORZ", 32),
+    ("JERZY", 30), ("TADEUSZ", 28), ("ADAM", 28), ("LUKASZ", 26),
+    ("ZBIGNIEW", 26), ("RYSZARD", 24), ("DARIUSZ", 22),
+    ("HENRYK", 22), ("MARIUSZ", 20), ("KAZIMIERZ", 20),
+    ("WOJCIECH", 20), ("ROBERT", 18), ("MATEUSZ", 18),
+    ("MARIAN", 16), ("RAFAL", 16), ("JACEK", 16), ("JANUSZ", 16),
+    ("MIROSLAW", 14), ("MACIEJ", 14), ("SLAWOMIR", 14),
+    ("JAROSLAW", 14), ("KAMIL", 12), ("WIESLAW", 12),
+    ("ROMAN", 12), ("WLADYSLAW", 12), ("JAKUB", 12),
+    ("ANNA", 60), ("MARIA", 55), ("KATARZYNA", 45),
+    ("MALGORZATA", 42), ("AGNIESZKA", 40), ("KRYSTYNA", 36),
+    ("BARBARA", 34), ("EWA", 32), ("ELZBIETA", 32),
+    ("ZOFIA", 28), ("JANINA", 26), ("TERESA", 26),
+    ("JOANNA", 24), ("MAGDALENA", 24), ("MONIKA", 22),
+    ("JADWIGA", 20), ("DANUTA", 20), ("IRENA", 18),
+    ("HALINA", 18), ("HELENA", 16), ("GRAZYNA", 16),
+    ("BOZENA", 14), ("STANISLAWA", 12), ("JOLANTA", 12),
+    ("URSZULA", 12), ("WIESLAWA", 10), ("AGATA", 10),
+    ("WITOLD", 8), ("ALEKSANDRA", 12), ("DOROTA", 12),
+]
+
+#: Relative weights for the record shapes of the paper's Figure 4.
+SHAPE_WEIGHTS = {
+    "surname_given": 58,        # AKIMOTO YOSHIMI
+    "surname_initial": 16,      # AFDAHL E
+    "surname_given_initial": 14,  # ARMENANTE MARK A
+    "surname_given_amp_given": 8,  # ABOGADO ALEJANDRO & CATHERINE
+    "surname_given_given": 4,   # ARBELAEZ LIBIA MARIA
+}
+
+
+def pool_names(pool: list[tuple[str, int]]) -> list[str]:
+    return [name for name, __ in pool]
+
+
+def pool_weights(pool: list[tuple[str, int]]) -> list[int]:
+    return [weight for __, weight in pool]

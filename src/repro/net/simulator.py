@@ -1,0 +1,210 @@
+"""The discrete-event message-passing core.
+
+Protocol actors subclass :class:`Node` and exchange :class:`Message`
+objects through a :class:`Network`.  Delivery is deterministic: events
+are ordered by (arrival time, sequence number), and the latency model
+is a pure function of message size.  Running the loop to quiescence
+(:meth:`Network.run`) executes a whole protocol exchange; the simulated
+clock then tells the protocol's critical-path latency and
+:class:`~repro.net.stats.NetworkStats` its bandwidth cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.net.stats import NetworkStats
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Message latency = ``fixed + size / bandwidth``.
+
+    Defaults model a mid-2000s switched LAN (the paper's setting):
+    a 0.2 ms per-message fixed cost and 100 Mbit/s of bandwidth.
+    """
+
+    fixed: float = 0.0002
+    bandwidth_bytes_per_s: float = 12_500_000.0
+
+    def latency(self, size: int) -> float:
+        return self.fixed + size / self.bandwidth_bytes_per_s
+
+
+class JitterLatencyModel(LatencyModel):
+    """A latency model with deterministic pseudo-random jitter.
+
+    Messages between the same pair can overtake each other, so
+    protocols are exercised under arbitrary (but reproducible)
+    reordering — the robustness tests run the whole LH* workload on
+    this model.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fixed: float = 0.0002,
+        bandwidth_bytes_per_s: float = 12_500_000.0,
+        jitter: float = 0.01,
+    ) -> None:
+        object.__setattr__(self, "fixed", fixed)
+        object.__setattr__(
+            self, "bandwidth_bytes_per_s", bandwidth_bytes_per_s
+        )
+        object.__setattr__(self, "jitter", jitter)
+        object.__setattr__(self, "_rng", random.Random(seed))
+
+    def latency(self, size: int) -> float:
+        base = super().latency(size)
+        return base + self._rng.random() * self.jitter
+
+
+@dataclass
+class Message:
+    """A protocol message.
+
+    ``kind`` routes the message inside the receiving node; ``payload``
+    is an arbitrary dict; ``size`` is the accounted wire size in bytes
+    (payloads are Python objects, so senders declare the size their
+    encoding would have — helpers in the SDDS layer compute it).
+    ``hops`` counts forwarding steps, which LH* bounds by 2.
+    """
+
+    src: Hashable
+    dst: Hashable
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    size: int = 64
+    hops: int = 0
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+
+
+class Node:
+    """Base class for protocol actors.
+
+    Subclasses implement :meth:`handle`; they send further messages via
+    ``network.send(...)``.  A node's identifier may be any hashable.
+    """
+
+    def __init__(self, node_id: Hashable) -> None:
+        self.node_id = node_id
+        self.network: "Network | None" = None
+
+    def handle(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def send(
+        self,
+        dst: Hashable,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        size: int = 64,
+        hops: int = 0,
+    ) -> None:
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id!r} is not attached "
+                               "to a network")
+        self.network.send(
+            self.node_id, dst, kind, payload or {}, size=size, hops=hops
+        )
+
+
+class Network:
+    """The event loop: attach nodes, send messages, run to quiescence."""
+
+    def __init__(self, latency: LatencyModel | None = None) -> None:
+        self.latency = latency or LatencyModel()
+        self.nodes: dict[Hashable, Node] = {}
+        self.stats = NetworkStats()
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Message]] = []
+        self._sequence = itertools.count()
+        self.delivered: int = 0
+        # Pairwise FIFO (TCP semantics): two messages on the same
+        # (src, dst) link are never reordered, whatever the latency
+        # model says.  Cross-link reordering remains free.
+        self._link_clock: dict[tuple[Hashable, Hashable], float] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, node: Node) -> Node:
+        """Register ``node``; its ``node_id`` must be unused."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        node.network = self
+        self.nodes[node.node_id] = node
+        return node
+
+    def detach(self, node_id: Hashable) -> None:
+        node = self.nodes.pop(node_id)
+        node.network = None
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self.nodes
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        size: int = 64,
+        hops: int = 0,
+    ) -> Message:
+        """Enqueue a message; it is delivered when :meth:`run` reaches it."""
+        if dst not in self.nodes:
+            raise KeyError(f"unknown destination node {dst!r}")
+        arrival = self.now + self.latency.latency(size)
+        link = (src, dst)
+        floor = self._link_clock.get(link)
+        if floor is not None and arrival <= floor:
+            arrival = floor + 1e-12
+        self._link_clock[link] = arrival
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload or {},
+            size=size,
+            hops=hops,
+            send_time=self.now,
+            arrival_time=arrival,
+        )
+        self.stats.record(kind, size)
+        heapq.heappush(
+            self._queue, (message.arrival_time, next(self._sequence), message)
+        )
+        return message
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Deliver queued messages (and any they trigger) in time order.
+
+        Returns the number of messages delivered.  ``max_events`` is a
+        runaway-protocol guard.
+        """
+        delivered = 0
+        while self._queue:
+            if delivered >= max_events:
+                raise RuntimeError(
+                    f"network did not quiesce within {max_events} events"
+                )
+            arrival, __, message = heapq.heappop(self._queue)
+            self.now = max(self.now, arrival)
+            self.nodes[message.dst].handle(message)
+            delivered += 1
+        self.delivered += delivered
+        return delivered
+
+    def reset_clock(self) -> None:
+        """Rewind the clock (between benchmark operations)."""
+        if self._queue:
+            raise RuntimeError("cannot reset the clock with messages "
+                               "in flight")
+        self.now = 0.0

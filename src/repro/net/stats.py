@@ -1,0 +1,53 @@
+"""Message/byte accounting for the simulated network."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Running totals for a :class:`~repro.net.simulator.Network`.
+
+    The counters are the currency of SDDS cost analysis: the LH* paper
+    argues lookups cost "one message in the usual case, at most three",
+    and the encrypted-search scheme multiplies message counts by the
+    number of chunkings and dispersal sites.  Benches snapshot these
+    counters around an operation to report its exact cost.
+    """
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+
+    def snapshot(self) -> "NetworkStats":
+        """An independent copy of the current totals."""
+        return NetworkStats(
+            messages=self.messages,
+            bytes=self.bytes,
+            by_kind=Counter(self.by_kind),
+            bytes_by_kind=Counter(self.bytes_by_kind),
+        )
+
+    def delta(self, earlier: "NetworkStats") -> "NetworkStats":
+        """Totals accumulated since ``earlier`` was snapshotted."""
+        return NetworkStats(
+            messages=self.messages - earlier.messages,
+            bytes=self.bytes - earlier.bytes,
+            by_kind=self.by_kind - earlier.by_kind,
+            bytes_by_kind=self.bytes_by_kind - earlier.bytes_by_kind,
+        )
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.by_kind.clear()
+        self.bytes_by_kind.clear()

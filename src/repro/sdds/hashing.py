@@ -1,0 +1,107 @@
+"""LH* addressing arithmetic (Litwin-Neimat-Schneider 1996).
+
+A linear-hash file in state ``(i, n)`` — level ``i``, split pointer
+``n`` — has ``2**i + n`` buckets.  Buckets ``0 .. n-1`` and
+``2**i .. 2**i + n - 1`` have already split to level ``i+1``; buckets
+``n .. 2**i - 1`` are still at level ``i``.
+
+Three pure functions capture the whole calculus:
+
+* :func:`client_address` — where a client whose (possibly stale) image
+  is ``(i', n')`` sends a key;
+* :func:`forward_address` — the server-side address-verification step
+  (LNS96 algorithm A1) that corrects a misdirected key in at most two
+  hops;
+* :func:`image_adjust` — the client-side image update on receiving an
+  Image Adjustment Message (LNS96 algorithm A3).
+
+Keeping these pure makes the at-most-two-hops and image-monotonicity
+guarantees directly property-testable without spinning up the network.
+"""
+
+from __future__ import annotations
+
+
+def h(key: int, level: int) -> int:
+    """The linear-hash family: ``h_level(key) = key mod 2**level``."""
+    if level < 0:
+        raise ValueError("hash level must be non-negative")
+    return key & ((1 << level) - 1)
+
+
+def file_buckets(i: int, n: int) -> int:
+    """Number of buckets of a file in state (i, n)."""
+    return (1 << i) + n
+
+
+def bucket_level(address: int, i: int, n: int) -> int:
+    """The true level of bucket ``address`` in file state (i, n)."""
+    if not 0 <= address < file_buckets(i, n):
+        raise ValueError(f"bucket {address} outside file of state ({i},{n})")
+    if address < n or address >= (1 << i):
+        return i + 1
+    return i
+
+
+def client_address(key: int, i_image: int, n_image: int) -> int:
+    """Address computation with the client's image (LNS96 A2).
+
+    ``a = h_i'(key); if a < n': a = h_{i'+1}(key)``.
+    """
+    address = h(key, i_image)
+    if address < n_image:
+        address = h(key, i_image + 1)
+    return address
+
+
+def forward_address(key: int, address: int, level: int) -> int | None:
+    """Server address verification (LNS96 A1).
+
+    Bucket ``address`` with local level ``level`` received ``key``.
+    Returns the bucket to forward to, or None if the key belongs here.
+
+    The rule: ``a' = h_j(key)``; if ``a' != a`` then
+    ``a'' = h_{j-1}(key)``; if ``a < a'' < a'`` use ``a''``.  LNS96
+    prove the resulting chain has length at most 2 for any client
+    image that was ever accurate.
+    """
+    candidate = h(key, level)
+    if candidate == address:
+        return None
+    lower = h(key, level - 1)
+    if address < lower < candidate:
+        candidate = lower
+    return candidate
+
+
+def image_adjust(
+    i_image: int, n_image: int, address: int, level: int
+) -> tuple[int, int]:
+    """Client image update from an IAM (LNS96 A3).
+
+    The IAM carries the address ``address`` and level ``level`` of a
+    bucket that the key actually reached.  The update never overshoots
+    the true file state, so images converge monotonically:
+
+    ``if level > i': i' = level - 1; n' = address + 1;
+    if n' >= 2**i': n' = 0; i' += 1``.
+    """
+    if level > i_image:
+        i_image = level - 1
+        n_image = address + 1
+        if n_image >= (1 << i_image):
+            n_image = 0
+            i_image += 1
+    return i_image, n_image
+
+
+def scan_initial_level(address: int, i_image: int, n_image: int) -> int:
+    """Level a client image implies for bucket ``address`` during a scan.
+
+    Used to seed the deterministic-termination forwarding rule: the
+    client believes bucket ``address`` has level ``i'`` (or ``i'+1`` if
+    the image says it already split this round).
+    """
+    if address < n_image or address >= (1 << i_image):
+        return i_image + 1
+    return i_image

@@ -1,0 +1,771 @@
+"""LH*: distributed linear hashing over the simulated network.
+
+Roles (each a :class:`~repro.net.simulator.Node`):
+
+* **Bucket servers** hold the records of one linear-hash bucket and
+  know only their own address and level.  They verify addresses,
+  forward misdirected keys (at most twice), answer scans and perform
+  splits when told to.
+* **The split coordinator** holds the authoritative file state
+  ``(i, n)`` and turns overflow notifications into splits of bucket
+  ``n`` — the classic linear-hashing discipline.
+* **Clients** hold a private, possibly stale image ``(i', n')`` and
+  never talk to the coordinator on the data path; they converge via
+  Image Adjustment Messages piggybacked on forwarded operations.
+
+:class:`LHStarFile` wires the three roles together and offers a
+synchronous facade (``insert/lookup/delete/scan``) that the encrypted
+search layer and the benchmarks drive.  Every call runs the network to
+quiescence, so cost counters around a call measure exactly that
+operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Any, Callable, Hashable
+
+from repro.net.simulator import Message, Network, Node
+from repro.sdds.hashing import (
+    client_address,
+    forward_address,
+    image_adjust,
+    scan_initial_level,
+)
+from repro.sdds.records import RECORD_OVERHEAD, Record
+
+#: Accounted wire size of a request/control header.
+HEADER_SIZE = 32
+
+ScanMatcher = Callable[[Record], Any]
+
+
+class LHStarBucket(Node):
+    """One bucket server: stores records, forwards, splits, scans.
+
+    A bucket can also be *retired* by a merge (file shrink): it keeps
+    its network identity so clients with stale images still reach it,
+    but holds no records and redirects every operation to the bucket
+    it merged into.
+    """
+
+    def __init__(
+        self,
+        file: "LHStarFile",
+        address: int,
+        level: int,
+        pending: bool = False,
+    ) -> None:
+        super().__init__(file.bucket_id(address))
+        self.file = file
+        self.address = address
+        self.level = level
+        self.records: dict[int, Record] = {}
+        self.retired = False
+        self.merge_target: int | None = None
+        # A bucket freshly created by a split is *pending* until its
+        # initial record shipment arrives; operations that overtake
+        # the shipment (possible under jittered latency) are buffered,
+        # not answered from an incomplete state.
+        self.pending = pending
+        self._buffered: list[Message] = []
+
+    # -- message dispatch -----------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        kind = message.kind
+        if self.pending and kind != "split_records":
+            self._buffered.append(message)
+            return
+        if self.pending:
+            # The initial shipment: install it, then replay whatever
+            # overtook it, in arrival order.
+            self.pending = False
+            self._absorb_records(message.payload["records"])
+            buffered, self._buffered = self._buffered, []
+            for waiting in buffered:
+                self.handle(waiting)
+            return
+        if self.retired and kind in ("insert", "lookup", "delete"):
+            # Tombstone: redirect to wherever the records went.  The
+            # target may forward again; the client pays one extra hop
+            # until its image catches up with the shrink.
+            self.send(
+                self.file.bucket_id(self.merge_target),
+                kind,
+                message.payload,
+                size=message.size,
+                hops=message.hops + 1,
+            )
+            return
+        if self.retired and kind in ("split_records", "merge_records"):
+            # A record shipment raced the merge that retired us: the
+            # records must not strand in a tombstone.  Re-ship them to
+            # the merge target, which re-verifies as usual.
+            records = message.payload["records"]
+            if records:
+                for record in records:
+                    self.file.on_move(self.address, self.merge_target,
+                                      record)
+                self.send(
+                    self.file.bucket_id(self.merge_target),
+                    "split_records",
+                    {"records": records},
+                    size=HEADER_SIZE + sum(r.wire_size
+                                           for r in records),
+                )
+            return
+        if self.retired and kind == "scan":
+            # Zero-coverage reply: the merge target answers for our
+            # old key range.
+            self.send(
+                message.payload["client"],
+                "scan_reply",
+                {
+                    "op": message.payload["op"],
+                    "address": self.address,
+                    "level": None,
+                    "hits": [],
+                },
+                size=HEADER_SIZE,
+            )
+            return
+        if kind in ("insert", "lookup", "delete"):
+            self._handle_keyed(message)
+        elif kind == "scan":
+            self._handle_scan(message)
+        elif kind == "split":
+            self._handle_split(message)
+        elif kind == "split_records":
+            self._handle_split_records(message)
+        elif kind == "merge":
+            self._handle_merge(message)
+        elif kind == "merge_records":
+            self._handle_merge_records(message)
+        else:
+            raise ValueError(f"bucket {self.address}: unknown message "
+                             f"kind {kind!r}")
+
+    # -- keyed operations --------------------------------------------------
+
+    def _handle_keyed(self, message: Message) -> None:
+        key = message.payload["key"]
+        target = forward_address(key, self.address, self.level)
+        if target is not None:
+            # Misdirected: forward, bumping the hop counter the LNS96
+            # theorem bounds by 2.
+            if message.hops == 0:
+                # The *first forwarder* sends the Image Adjustment
+                # Message with its own address and level (LNS96).
+                # A forwarder's (address, level) pair is always a safe
+                # lower bound on the file state, so client images never
+                # overshoot the file; the final bucket's pair would not
+                # be safe (e.g. bucket 2 at level 2 in a 3-bucket file
+                # would make the client believe bucket 3 exists).
+                self.send(
+                    message.payload["client"],
+                    "iam",
+                    {"address": self.address, "level": self.level},
+                    size=HEADER_SIZE,
+                )
+            self.send(
+                self.file.bucket_id(target),
+                message.kind,
+                message.payload,
+                size=message.size,
+                hops=message.hops + 1,
+            )
+            return
+        getattr(self, "_do_" + message.kind)(message)
+
+    def _do_insert(self, message: Message) -> None:
+        payload = message.payload
+        record = Record(payload["key"], payload["content"])
+        old = self.records.get(record.rid)
+        self.records[record.rid] = record
+        self.send(
+            payload["client"],
+            "reply",
+            {"op": payload["op"], "ok": True, "created": old is None},
+            size=HEADER_SIZE,
+        )
+        self.file.on_store(self.address, record, old)
+        if len(self.records) > self.file.bucket_capacity:
+            self.send(
+                self.file.coordinator_id,
+                "overflow",
+                {"address": self.address},
+                size=HEADER_SIZE,
+            )
+
+    def _do_lookup(self, message: Message) -> None:
+        payload = message.payload
+        record = self.records.get(payload["key"])
+        self.send(
+            payload["client"],
+            "reply",
+            {
+                "op": payload["op"],
+                "ok": record is not None,
+                "content": None if record is None else record.content,
+            },
+            size=HEADER_SIZE + (0 if record is None else record.wire_size),
+        )
+
+    def _do_delete(self, message: Message) -> None:
+        payload = message.payload
+        removed = self.records.pop(payload["key"], None)
+        self.send(
+            payload["client"],
+            "reply",
+            {"op": payload["op"], "ok": removed is not None},
+            size=HEADER_SIZE,
+        )
+        if removed is not None:
+            self.file.on_remove(self.address, removed)
+            if self.file.shrink:
+                self.send(
+                    self.file.coordinator_id,
+                    "underflow",
+                    {"address": self.address},
+                    size=HEADER_SIZE,
+                )
+
+    # -- scan ---------------------------------------------------------------
+
+    def _handle_scan(self, message: Message) -> None:
+        payload = message.payload
+        presumed = payload["level"]
+        # Deterministic-termination forwarding: cover the buckets the
+        # client's image did not know about.
+        level = presumed
+        while level < self.level:
+            child = self.address + (1 << level)
+            level += 1
+            forwarded = dict(payload)
+            forwarded["level"] = level
+            self.send(
+                self.file.bucket_id(child),
+                "scan",
+                forwarded,
+                size=message.size,
+                hops=message.hops + 1,
+            )
+        matcher: ScanMatcher = payload["matcher"]
+        hits = []
+        for record in self.records.values():
+            outcome = matcher(record)
+            if outcome is not None:
+                hits.append(outcome)
+        self.send(
+            payload["client"],
+            "scan_reply",
+            {
+                "op": payload["op"],
+                "address": self.address,
+                "level": self.level,
+                "hits": hits,
+            },
+            size=HEADER_SIZE + sum(_hit_size(hit) for hit in hits),
+        )
+
+    # -- splitting ------------------------------------------------------------
+
+    def _handle_split(self, message: Message) -> None:
+        new_address = message.payload["new_address"]
+        new_level = message.payload["new_level"]
+        self.level = new_level
+        moving = [
+            record
+            for record in self.records.values()
+            if (record.rid & ((1 << new_level) - 1)) != self.address
+        ]
+        for record in moving:
+            del self.records[record.rid]
+            self.file.on_move(self.address, new_address, record)
+        self.send(
+            self.file.bucket_id(new_address),
+            "split_records",
+            {"records": moving},
+            size=HEADER_SIZE + sum(r.wire_size for r in moving),
+        )
+        if len(self.records) > self.file.bucket_capacity:
+            self.send(
+                self.file.coordinator_id,
+                "overflow",
+                {"address": self.address},
+                size=HEADER_SIZE,
+            )
+
+    def _absorb_records(
+        self, records: list[Record], notify_overflow: bool = True
+    ) -> None:
+        """Store shipped records, re-verifying each against the
+        *current* level.
+
+        Under concurrency a bucket may have split again before an
+        earlier record shipment arrives; storing such records blindly
+        would strand them (they hash elsewhere at the new level).
+        Misfits are re-shipped toward their correct bucket, which
+        re-verifies in turn — the same convergence argument as keyed
+        forwarding.
+
+        ``notify_overflow`` is off on the merge path: a merge of two
+        half-full buckets may exceed capacity, and splitting right
+        back would thrash — the oversize drains through deletes or is
+        resolved by the next genuine insert.
+        """
+        misrouted: dict[int, list[Record]] = {}
+        for record in records:
+            target = forward_address(record.rid, self.address, self.level)
+            if target is None:
+                self.records[record.rid] = record
+            else:
+                misrouted.setdefault(target, []).append(record)
+        for target, batch in misrouted.items():
+            for record in batch:
+                self.file.on_move(self.address, target, record)
+            self.send(
+                self.file.bucket_id(target),
+                "split_records",
+                {"records": batch},
+                size=HEADER_SIZE + sum(r.wire_size for r in batch),
+            )
+        if notify_overflow and len(self.records) > self.file.bucket_capacity:
+            self.send(
+                self.file.coordinator_id,
+                "overflow",
+                {"address": self.address},
+                size=HEADER_SIZE,
+            )
+
+    def _handle_split_records(self, message: Message) -> None:
+        self._absorb_records(message.payload["records"])
+
+    # -- merging (file shrink) ---------------------------------------------
+
+    def _handle_merge(self, message: Message) -> None:
+        """Retire this bucket, shipping every record to the target."""
+        target = message.payload["target"]
+        moving = list(self.records.values())
+        self.records.clear()
+        for record in moving:
+            self.file.on_move(self.address, target, record)
+        self.retired = True
+        self.merge_target = target
+        self.send(
+            self.file.bucket_id(target),
+            "merge_records",
+            {"records": moving, "level": message.payload["level"]},
+            size=HEADER_SIZE + sum(r.wire_size for r in moving),
+        )
+
+    def _handle_merge_records(self, message: Message) -> None:
+        """Absorb a retired sibling's records; drop back one level."""
+        self.level = message.payload["level"]
+        self._absorb_records(message.payload["records"],
+                             notify_overflow=False)
+
+
+class LHStarCoordinator(Node):
+    """The split coordinator: authoritative ``(i, n)``, split policy.
+
+    Two policies from the linear-hashing literature:
+
+    * ``"uncontrolled"`` (default) — every overflow notification
+      triggers a split of bucket ``n``.  Simple, keeps buckets shallow,
+      over-allocates sites.
+    * ``"load_factor"`` — split only while the file-wide load factor
+      (records / (buckets x capacity)) exceeds the threshold.  Fewer,
+      fuller buckets; the classic space/overflow trade-off.  The
+      coordinator only acts on overflow notifications, so the achieved
+      load may drift above the threshold while no bucket overflows.
+    """
+
+    def __init__(self, file: "LHStarFile") -> None:
+        super().__init__(file.coordinator_id)
+        self.file = file
+        self.i = 0
+        self.n = 0
+
+    @property
+    def bucket_count(self) -> int:
+        return (1 << self.i) + self.n
+
+    def _load_factor(self) -> float:
+        capacity = self.bucket_count * self.file.bucket_capacity
+        return self.file.record_count / capacity
+
+    def handle(self, message: Message) -> None:
+        if message.kind == "underflow":
+            self._maybe_merge()
+            return
+        if message.kind != "overflow":
+            raise ValueError(
+                f"coordinator: unknown message kind {message.kind!r}"
+            )
+        if self.file.split_policy == "load_factor":
+            # Gate, don't force: an overflow only earns a split when
+            # the file as a whole is loaded — a hot bucket alone is
+            # allowed to run deep (overflow-chained in a real LH;
+            # oversized in this simulation).
+            if self._load_factor() > self.file.load_factor_threshold:
+                self._split_next()
+        else:
+            self._split_next()
+
+    def _maybe_merge(self) -> None:
+        """Shrink by one bucket when the file runs too empty.
+
+        Reverses the last split: the most recently created bucket
+        ships its records back to its split partner, which drops one
+        level; the emptied bucket stays on the network as a tombstone
+        so stale client images still resolve.
+        """
+        if self.bucket_count <= 1:
+            return
+        if self._load_factor() >= self.file.merge_threshold:
+            return
+        i, n = self.i, self.n
+        if n == 0:
+            i -= 1
+            n = 1 << i
+        last = (1 << i) + n - 1
+        target = n - 1
+        self.i, self.n = i, n - 1
+        self.file.retire_bucket(last)
+        self.send(
+            self.file.bucket_id(last),
+            "merge",
+            {"target": target, "level": i},
+            size=HEADER_SIZE,
+        )
+
+    def _split_next(self) -> None:
+        splitter = self.n
+        new_address = self.n + (1 << self.i)
+        new_level = self.i + 1
+        self.file.create_bucket(new_address, new_level, pending=True)
+        self.n += 1
+        if self.n == (1 << self.i):
+            self.i += 1
+            self.n = 0
+        self.send(
+            self.file.bucket_id(splitter),
+            "split",
+            {"new_address": new_address, "new_level": new_level},
+            size=HEADER_SIZE,
+        )
+
+
+class LHStarClient(Node):
+    """A client with a private image; entry point for all operations."""
+
+    def __init__(self, file: "LHStarFile", client_index: int = 0) -> None:
+        super().__init__(file.client_id(client_index))
+        self.file = file
+        self.i_image = 0
+        self.n_image = 0
+        self._ops = itertools.count()
+        self.responses: dict[int, dict[str, Any]] = {}
+        self._scan_hits: dict[int, list[Any]] = {}
+        self._scan_coverage: dict[int, Fraction] = {}
+        self.iam_count = 0
+
+    # -- message handling ----------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "reply":
+            self.responses[message.payload["op"]] = message.payload
+        elif kind == "iam":
+            self.iam_count += 1
+            self.i_image, self.n_image = image_adjust(
+                self.i_image,
+                self.n_image,
+                message.payload["address"],
+                message.payload["level"],
+            )
+        elif kind == "scan_reply":
+            payload = message.payload
+            op = payload["op"]
+            self._scan_hits[op].extend(payload["hits"])
+            if payload["level"] is not None:
+                self._scan_coverage[op] += Fraction(
+                    1, 1 << payload["level"]
+                )
+            # Retired buckets reply with level None: zero coverage —
+            # their merge target answers for the key range.
+        else:
+            raise ValueError(f"client: unknown message kind {kind!r}")
+
+    # -- request initiation ---------------------------------------------------
+
+    def start_keyed(self, kind: str, key: int, content: bytes | None = None) -> int:
+        """Send a keyed operation using the current image; returns op id."""
+        op = next(self._ops)
+        address = client_address(key, self.i_image, self.n_image)
+        payload: dict[str, Any] = {"key": key, "op": op, "client": self.node_id}
+        size = HEADER_SIZE
+        if kind == "insert":
+            payload["content"] = content
+            size += RECORD_OVERHEAD + len(content or b"")
+        self.send(self.file.bucket_id(address), kind, payload, size=size)
+        return op
+
+    def start_scan(self, matcher: ScanMatcher, request_size: int = HEADER_SIZE) -> int:
+        """Broadcast a scan to every bucket in the image; returns op id."""
+        op = next(self._ops)
+        self._scan_hits[op] = []
+        self._scan_coverage[op] = Fraction(0)
+        known = (1 << self.i_image) + self.n_image
+        for address in range(known):
+            self.send(
+                self.file.bucket_id(address),
+                "scan",
+                {
+                    "op": op,
+                    "client": self.node_id,
+                    "matcher": matcher,
+                    "level": scan_initial_level(
+                        address, self.i_image, self.n_image
+                    ),
+                },
+                size=request_size,
+            )
+        return op
+
+    def take_reply(self, op: int) -> dict[str, Any]:
+        """Pop the (already delivered) reply for ``op``."""
+        try:
+            return self.responses.pop(op)
+        except KeyError:
+            raise RuntimeError(f"no reply delivered for op {op}") from None
+
+    def take_scan(self, op: int) -> list[Any]:
+        """Pop scan hits for ``op``, verifying full coverage."""
+        coverage = self._scan_coverage.pop(op)
+        if coverage != 1:
+            raise RuntimeError(
+                f"scan terminated with coverage {coverage} != 1; "
+                "the deterministic-termination invariant is broken"
+            )
+        return self._scan_hits.pop(op)
+
+
+class LHStarFile:
+    """Synchronous facade over one LH* file on a simulated network.
+
+    >>> file = LHStarFile()
+    >>> file.insert(7, b"hello\\x00")
+    >>> file.lookup(7)
+    b'hello\\x00'
+    """
+
+    def __init__(
+        self,
+        name: str = "lh",
+        network: Network | None = None,
+        bucket_capacity: int = 64,
+        split_policy: str = "uncontrolled",
+        load_factor_threshold: float = 0.8,
+        shrink: bool = False,
+        merge_threshold: float = 0.4,
+    ) -> None:
+        if bucket_capacity < 1:
+            raise ValueError("bucket capacity must be positive")
+        if split_policy not in ("uncontrolled", "load_factor"):
+            raise ValueError(
+                f"unknown split policy {split_policy!r}"
+            )
+        if not 0 < load_factor_threshold <= 1:
+            raise ValueError("load factor threshold must be in (0, 1]")
+        if not 0 < merge_threshold < 1:
+            raise ValueError("merge threshold must be in (0, 1)")
+        if shrink and merge_threshold >= load_factor_threshold:
+            raise ValueError(
+                "merge threshold must lie below the load-factor "
+                "threshold or the file would thrash"
+            )
+        self.name = name
+        self.network = network or Network()
+        self.bucket_capacity = bucket_capacity
+        self.split_policy = split_policy
+        self.load_factor_threshold = load_factor_threshold
+        self.shrink = shrink
+        self.merge_threshold = merge_threshold
+        self.buckets: dict[int, LHStarBucket] = {}
+        self.coordinator = LHStarCoordinator(self)
+        self.network.attach(self.coordinator)
+        self.create_bucket(0, 0)
+        self.clients: list[LHStarClient] = []
+        self.client = self.new_client()
+        self.record_count = 0
+
+    # -- identifiers -----------------------------------------------------------
+
+    def bucket_id(self, address: int) -> Hashable:
+        return ("bucket", self.name, address)
+
+    def client_id(self, index: int) -> Hashable:
+        return ("client", self.name, index)
+
+    @property
+    def coordinator_id(self) -> Hashable:
+        return ("coordinator", self.name)
+
+    # -- topology management -----------------------------------------------------
+
+    def create_bucket(
+        self, address: int, level: int, pending: bool = False
+    ) -> LHStarBucket:
+        existing = self.buckets.get(address)
+        if existing is not None:
+            if not existing.retired:
+                raise ValueError(f"bucket {address} already exists")
+            # The file regrew over a tombstone: revive it in place.
+            existing.retired = False
+            existing.merge_target = None
+            existing.level = level
+            existing.pending = pending
+            return existing
+        bucket = LHStarBucket(self, address, level, pending=pending)
+        self.buckets[address] = bucket
+        self.network.attach(bucket)
+        return bucket
+
+    def retire_bucket(self, address: int) -> None:
+        """Bookkeeping hook when a merge retires a bucket (overridden
+        by the parity layer)."""
+
+    @property
+    def live_bucket_count(self) -> int:
+        return sum(1 for b in self.buckets.values() if not b.retired)
+
+    def new_client(self) -> LHStarClient:
+        client = LHStarClient(self, len(self.clients))
+        self.clients.append(client)
+        self.network.attach(client)
+        return client
+
+    @property
+    def state(self) -> tuple[int, int]:
+        """The authoritative file state ``(i, n)``."""
+        return self.coordinator.i, self.coordinator.n
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    # -- bookkeeping hooks (overridden by LH*_RS) ------------------------------
+
+    def on_store(self, address: int, record: Record, old: Record | None) -> None:
+        if old is None:
+            self.record_count += 1
+
+    def on_remove(self, address: int, record: Record) -> None:
+        self.record_count -= 1
+
+    def on_move(self, old: int, new: int, record: Record) -> None:
+        """A record migrated during a split; parity layers react here."""
+
+    # -- synchronous operations ----------------------------------------------
+
+    def insert(self, key: int, content: bytes, client: LHStarClient | None = None) -> None:
+        client = client or self.client
+        op = client.start_keyed("insert", key, content)
+        self.network.run()
+        reply = client.take_reply(op)
+        if not reply["ok"]:
+            raise RuntimeError(f"insert of key {key} failed")
+
+    def lookup(self, key: int, client: LHStarClient | None = None) -> bytes | None:
+        client = client or self.client
+        op = client.start_keyed("lookup", key)
+        self.network.run()
+        reply = client.take_reply(op)
+        return reply["content"] if reply["ok"] else None
+
+    def delete(self, key: int, client: LHStarClient | None = None) -> bool:
+        client = client or self.client
+        op = client.start_keyed("delete", key)
+        self.network.run()
+        return client.take_reply(op)["ok"]
+
+    def scan(
+        self,
+        matcher: ScanMatcher,
+        client: LHStarClient | None = None,
+        request_size: int = HEADER_SIZE,
+    ) -> list[Any]:
+        """Parallel content scan: returns all non-None matcher outcomes."""
+        client = client or self.client
+        op = client.start_scan(matcher, request_size=request_size)
+        self.network.run()
+        return client.take_scan(op)
+
+    def run_concurrent(
+        self,
+        operations: list[tuple],
+        concurrency: int = 4,
+    ) -> list:
+        """Issue many keyed operations concurrently, one network run.
+
+        ``operations`` are ``("insert", key, content)``,
+        ``("lookup", key)`` or ``("delete", key)`` tuples.  They are
+        spread round-robin over a pool of ``concurrency`` clients and
+        *all* enter the network before it runs, so splits, forwards
+        and image adjustments interleave arbitrarily — the situation a
+        real multi-client SDDS faces.  Results return in operation
+        order: None for inserts, content (or None) for lookups, bool
+        for deletes.
+
+        Ordering between operations in the same batch is unspecified
+        (they are concurrent); callers needing order run batches
+        sequentially.
+        """
+        if concurrency < 1:
+            raise ValueError("concurrency must be positive")
+        while len(self.clients) < concurrency + 1:
+            self.new_client()
+        pool = self.clients[1:concurrency + 1]
+        pending: list[tuple[LHStarClient, int, str]] = []
+        for index, operation in enumerate(operations):
+            client = pool[index % concurrency]
+            kind = operation[0]
+            if kind == "insert":
+                op = client.start_keyed("insert", operation[1],
+                                        operation[2])
+            elif kind in ("lookup", "delete"):
+                op = client.start_keyed(kind, operation[1])
+            else:
+                raise ValueError(f"unknown operation kind {kind!r}")
+            pending.append((client, op, kind))
+        self.network.run()
+        results = []
+        for client, op, kind in pending:
+            reply = client.take_reply(op)
+            if kind == "insert":
+                results.append(None)
+            elif kind == "lookup":
+                results.append(reply["content"] if reply["ok"] else None)
+            else:
+                results.append(reply["ok"])
+        return results
+
+    def all_records(self) -> list[Record]:
+        """Direct (out-of-band) record dump, for tests and analysis."""
+        records = []
+        for bucket in self.buckets.values():
+            records.extend(bucket.records.values())
+        return records
+
+
+def _hit_size(hit: Any) -> int:
+    """Accounted wire size of one scan hit."""
+    if isinstance(hit, (bytes, bytearray)):
+        return len(hit)
+    if isinstance(hit, tuple):
+        return 8 * len(hit)
+    return 8

@@ -1,0 +1,403 @@
+"""LH*_RS: high-availability LH* with Reed-Solomon parity.
+
+Follows Litwin, Moussa, Schwarz (ACM TODS 2005): data buckets are
+organised into *groups* of ``m`` consecutive addresses; each group has
+``k`` parity buckets.  Records of the same *rank* (a stable slot index
+inside their bucket) across the group's data buckets form a *record
+group*; the parity buckets store ``k`` Reed-Solomon parity records per
+record group, computed over GF(2^8) with a Cauchy generator matrix.
+Any ``k`` unavailable buckets of a group (data or parity) can be
+recovered from the survivors.
+
+The implementation plugs into :class:`~repro.sdds.lhstar.LHStarFile`
+through its bookkeeping hooks: every store/remove/move of a data record
+emits *delta* messages to the group's parity buckets (the "Δ-record"
+technique of the paper: parity is updated with the XOR-difference of
+old and new content, scaled by the generator coefficient).  Parity
+traffic therefore shows up in the simulator's message counters, exactly
+like a real deployment.
+
+Recovery (:meth:`LHStarRSFile.recover_buckets`) solves the linear
+system for up to ``k`` erased buckets per group and returns the
+reconstructed records; :meth:`LHStarRSFile.verify_recovery` checks the
+reconstruction bit-for-bit against the live buckets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.gf import GF2, Matrix, cauchy_matrix
+from repro.net.simulator import Message, Network, Node
+from repro.sdds.lhstar import HEADER_SIZE, LHStarFile
+from repro.sdds.records import Record
+
+_FIELD = GF2(8)
+
+# Per-coefficient bytes.translate tables for fast scalar multiplication
+# of byte strings in GF(2^8).
+_MUL_TABLES: dict[int, bytes] = {}
+
+
+def _mul_table(coefficient: int) -> bytes:
+    table = _MUL_TABLES.get(coefficient)
+    if table is None:
+        table = bytes(_FIELD.mul(coefficient, x) for x in range(256))
+        _MUL_TABLES[coefficient] = table
+    return table
+
+
+def _scale(coefficient: int, data: bytes) -> bytes:
+    """coefficient * data, bytewise over GF(2^8)."""
+    if coefficient == 0:
+        return bytes(len(data))
+    if coefficient == 1:
+        return data
+    return data.translate(_mul_table(coefficient))
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    """XOR of two byte strings, zero-extending the shorter one."""
+    if len(a) < len(b):
+        a, b = b, a
+    return bytes(x ^ y for x, y in zip(a, b)) + a[len(b):]
+
+
+def generator_matrix(m: int, k: int) -> Matrix:
+    """The k x m Cauchy generator used for the group parity code."""
+    if m + k > _FIELD.order:
+        raise ValueError("group too large for GF(2^8) parity")
+    return cauchy_matrix(
+        _FIELD, xs=list(range(m, m + k)), ys=list(range(m))
+    )
+
+
+class _ParitySlot:
+    """Parity state of one record group (one rank) at one parity bucket."""
+
+    __slots__ = ("payload", "rids", "lengths")
+
+    def __init__(self, m: int) -> None:
+        self.payload = b""
+        self.rids: list[int | None] = [None] * m
+        self.lengths: list[int] = [0] * m
+
+
+class ParityBucket(Node):
+    """One parity bucket: applies delta updates, serves recovery reads."""
+
+    def __init__(
+        self, file: "LHStarRSFile", group: int, index: int
+    ) -> None:
+        super().__init__(file.parity_id(group, index))
+        self.file = file
+        self.group = group
+        self.index = index
+        self.slots: dict[int, _ParitySlot] = {}
+
+    def handle(self, message: Message) -> None:
+        if message.kind != "parity_delta":
+            raise ValueError(
+                f"parity bucket: unknown message kind {message.kind!r}"
+            )
+        payload = message.payload
+        rank = payload["rank"]
+        offset = payload["offset"]      # data bucket position in the group
+        slot = self.slots.get(rank)
+        if slot is None:
+            slot = _ParitySlot(self.file.group_size)
+            self.slots[rank] = slot
+        coefficient = self.file.generator.rows[self.index][offset]
+        slot.payload = _xor(slot.payload, _scale(coefficient, payload["delta"]))
+        slot.rids[offset] = payload["rid"]
+        slot.lengths[offset] = payload["length"]
+
+    def slot_view(self, rank: int) -> _ParitySlot | None:
+        return self.slots.get(rank)
+
+
+class LHStarRSFile(LHStarFile):
+    """An LH* file with per-group Reed-Solomon parity buckets.
+
+    ``group_size`` is the paper's ``m`` (data buckets per group) and
+    ``parity_count`` its ``k`` (simultaneously recoverable buckets).
+
+    >>> file = LHStarRSFile(group_size=4, parity_count=2)
+    >>> file.insert(11, b"payload\\x00")
+    >>> sorted(file.recover_buckets([0])[0]) == [
+    ...     rid for rid in file.buckets[0].records]
+    True
+    """
+
+    def __init__(
+        self,
+        name: str = "lhrs",
+        network: Network | None = None,
+        bucket_capacity: int = 64,
+        group_size: int = 4,
+        parity_count: int = 2,
+        **file_options,
+    ) -> None:
+        if group_size < 2:
+            raise ValueError("group size must be at least 2")
+        if parity_count < 1:
+            raise ValueError("parity count must be at least 1")
+        self.group_size = group_size
+        self.parity_count = parity_count
+        self.generator = generator_matrix(group_size, parity_count)
+        self.parity_buckets: dict[tuple[int, int], ParityBucket] = {}
+        # Rank bookkeeping per data bucket address.
+        self._ranks: dict[int, dict[int, int]] = {}
+        self._free_ranks: dict[int, list[int]] = {}
+        self._next_rank: dict[int, int] = {}
+        super().__init__(name=name, network=network,
+                         bucket_capacity=bucket_capacity,
+                         **file_options)
+
+    # -- identifiers ---------------------------------------------------------
+
+    def parity_id(self, group: int, index: int) -> Hashable:
+        return ("parity", self.name, group, index)
+
+    def group_of(self, address: int) -> int:
+        return address // self.group_size
+
+    def offset_of(self, address: int) -> int:
+        return address % self.group_size
+
+    # -- topology -------------------------------------------------------------
+
+    def create_bucket(self, address: int, level: int,
+                      pending: bool = False):
+        bucket = super().create_bucket(address, level, pending=pending)
+        self._ranks[address] = {}
+        self._free_ranks[address] = []
+        self._next_rank[address] = 0
+        group = self.group_of(address)
+        for index in range(self.parity_count):
+            if (group, index) not in self.parity_buckets:
+                parity = ParityBucket(self, group, index)
+                self.parity_buckets[(group, index)] = parity
+                self.network.attach(parity)
+        return bucket
+
+    # -- rank management ---------------------------------------------------------
+
+    def _assign_rank(self, address: int, rid: int) -> int:
+        ranks = self._ranks[address]
+        if rid in ranks:
+            return ranks[rid]
+        free = self._free_ranks[address]
+        if free:
+            rank = heapq.heappop(free)
+        else:
+            rank = self._next_rank[address]
+            self._next_rank[address] += 1
+        ranks[rid] = rank
+        return rank
+
+    def _release_rank(self, address: int, rid: int) -> int:
+        rank = self._ranks[address].pop(rid)
+        heapq.heappush(self._free_ranks[address], rank)
+        return rank
+
+    # -- parity traffic ----------------------------------------------------------
+
+    def _send_delta(
+        self,
+        address: int,
+        rank: int,
+        rid: int | None,
+        delta: bytes,
+        length: int,
+    ) -> None:
+        group = self.group_of(address)
+        offset = self.offset_of(address)
+        for index in range(self.parity_count):
+            self.network.send(
+                self.bucket_id(address),
+                self.parity_id(group, index),
+                "parity_delta",
+                {
+                    "rank": rank,
+                    "offset": offset,
+                    "rid": rid,
+                    "delta": delta,
+                    "length": length,
+                },
+                size=HEADER_SIZE + len(delta),
+            )
+
+    # -- LHStarFile hooks -----------------------------------------------------
+
+    def on_store(self, address: int, record: Record, old: Record | None) -> None:
+        super().on_store(address, record, old)
+        rank = self._assign_rank(address, record.rid)
+        delta = _xor(record.content, old.content if old else b"")
+        self._send_delta(address, rank, record.rid, delta,
+                         len(record.content))
+
+    def on_remove(self, address: int, record: Record) -> None:
+        super().on_remove(address, record)
+        rank = self._release_rank(address, record.rid)
+        self._send_delta(address, rank, None, record.content, 0)
+
+    def on_move(self, old: int, new: int, record: Record) -> None:
+        super().on_move(old, new, record)
+        rank = self._release_rank(old, record.rid)
+        self._send_delta(old, rank, None, record.content, 0)
+        new_rank = self._assign_rank(new, record.rid)
+        self._send_delta(new, new_rank, record.rid, record.content,
+                         len(record.content))
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover_buckets(
+        self, addresses: list[int]
+    ) -> dict[int, dict[int, bytes]]:
+        """Reconstruct the records of ``addresses`` as if they were lost.
+
+        All addresses must belong to the same group, and there may be
+        at most ``parity_count`` of them.  Returns, per address, a dict
+        ``rid -> content`` rebuilt purely from the surviving data
+        buckets and the parity buckets.
+        """
+        if not addresses:
+            return {}
+        groups = {self.group_of(a) for a in addresses}
+        if len(groups) != 1:
+            raise ValueError("can only recover one group at a time")
+        if len(addresses) > self.parity_count:
+            raise ValueError(
+                f"{len(addresses)} failures exceed parity count "
+                f"{self.parity_count}"
+            )
+        if len(set(addresses)) != len(addresses):
+            raise ValueError("duplicate addresses in recovery set")
+        group = groups.pop()
+        erased_offsets = sorted(self.offset_of(a) for a in addresses)
+        offset_to_address = {
+            self.offset_of(a): a for a in addresses
+        }
+        surviving = {
+            offset: self.buckets.get(group * self.group_size + offset)
+            for offset in range(self.group_size)
+            if offset not in erased_offsets
+        }
+        parities = [
+            self.parity_buckets[(group, index)]
+            for index in range(self.parity_count)
+        ]
+        # Ranks present anywhere in the group, as recorded by parity 0.
+        all_ranks = set(parities[0].slots)
+        # Use the first len(erased) parity buckets: any such subset of a
+        # Cauchy-coded system is solvable.
+        use = erased_offsets
+        nerased = len(use)
+        # Coefficient matrix: rows = chosen parity buckets, cols = erased
+        # data offsets.
+        system = Matrix(
+            _FIELD,
+            [
+                [self.generator.rows[p][offset] for offset in use]
+                for p in range(nerased)
+            ],
+        )
+        solver = system.inverse()
+        recovered: dict[int, dict[int, bytes]] = {
+            address: {} for address in addresses
+        }
+        for rank in sorted(all_ranks):
+            slot0 = parities[0].slots[rank]
+            # Right-hand side: parity payload minus surviving contributions.
+            rhs: list[bytes] = []
+            for p in range(nerased):
+                slot = parities[p].slots.get(rank)
+                acc = slot.payload if slot else b""
+                for offset, bucket in surviving.items():
+                    rid = slot0.rids[offset]
+                    if rid is None or bucket is None:
+                        continue
+                    record = bucket.records.get(rid)
+                    if record is None:
+                        continue
+                    acc = _xor(
+                        acc,
+                        _scale(self.generator.rows[p][offset],
+                               record.content),
+                    )
+                rhs.append(acc)
+            width = max((len(b) for b in rhs), default=0)
+            rhs = [b + bytes(width - len(b)) for b in rhs]
+            for column, offset in enumerate(use):
+                rid = slot0.rids[offset]
+                if rid is None:
+                    continue
+                content = bytes(width)
+                for p in range(nerased):
+                    content = _xor(
+                        content,
+                        _scale(solver.rows[column][p], rhs[p]),
+                    )
+                length = slot0.lengths[offset]
+                recovered[offset_to_address[offset]][rid] = content[:length]
+        return recovered
+
+    def degraded_lookup(self, rid: int) -> bytes | None:
+        """Read one record *as if its data bucket were unavailable*.
+
+        The LH*_RS degraded-read path: locate the record's group and
+        rank through the parity metadata, then reconstruct just that
+        record group from the surviving data buckets plus one parity
+        bucket — without touching the record's home bucket at all.
+        Returns None when no parity bucket knows the RID.
+        """
+        from repro.sdds.hashing import client_address
+        address = client_address(rid, self.coordinator.i,
+                                 self.coordinator.n)
+        group = self.group_of(address)
+        offset = self.offset_of(address)
+        parity0 = self.parity_buckets.get((group, 0))
+        if parity0 is None:
+            return None
+        rank = next(
+            (
+                r for r, slot in parity0.slots.items()
+                if slot.rids[offset] == rid
+            ),
+            None,
+        )
+        if rank is None:
+            return None
+        slot = parity0.slots[rank]
+        acc = slot.payload
+        for other in range(self.group_size):
+            if other == offset:
+                continue
+            other_rid = slot.rids[other]
+            if other_rid is None:
+                continue
+            bucket = self.buckets.get(group * self.group_size + other)
+            if bucket is None:
+                return None
+            record = bucket.records.get(other_rid)
+            if record is None:
+                return None
+            acc = _xor(acc, _scale(self.generator.rows[0][other],
+                                   record.content))
+        coefficient = self.generator.rows[0][offset]
+        content = _scale(_FIELD.inv(coefficient), acc)
+        return content[:slot.lengths[offset]]
+
+    def verify_recovery(self, addresses: list[int]) -> bool:
+        """Check that recovery reproduces the live buckets exactly."""
+        recovered = self.recover_buckets(addresses)
+        for address in addresses:
+            live = {
+                rid: record.content
+                for rid, record in self.buckets[address].records.items()
+            }
+            if recovered[address] != live:
+                return False
+        return True

@@ -1,0 +1,107 @@
+"""The bigram hill-climbing attacker (substitution solver)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.analysis.attack import (
+    bigram_hillclimb_attack,
+    frequency_match_attack,
+)
+from repro.crypto.feistel import FeistelPRP
+
+
+def english_like_records(rng, n_records=400, length=14):
+    """Records with strong bigram structure over a 16-symbol alphabet."""
+    transitions = {}
+    for s in range(16):
+        weights = [1] * 16
+        weights[(s + 1) % 16] = 30      # strong successor preference
+        weights[(s + 5) % 16] = 10
+        transitions[s] = weights
+    records = []
+    for __ in range(n_records):
+        symbol = rng.randrange(16)
+        record = [symbol]
+        for __ in range(length - 1):
+            symbol = rng.choices(range(16), transitions[symbol])[0]
+            record.append(symbol)
+        records.append(record)
+    return records
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(3)
+    records = english_like_records(rng)
+    unigrams = Counter(s for r in records for s in r)
+    bigrams = Counter(
+        (r[i], r[i + 1]) for r in records for i in range(len(r) - 1)
+    )
+    return records, unigrams, bigrams
+
+
+class TestBigramAttack:
+    def test_beats_unigram_attack_on_structured_data(self, corpus):
+        """Bigram structure cracks what unigram ranks cannot — the
+        measured form of the paper's 'SMIT'->'H' warning."""
+        records, unigrams, bigrams = corpus
+        prp = FeistelPRP(b"bigram-test", 16)
+        cipher_records = [[prp.encrypt(s) for s in r] for r in records]
+        flat = [c for r in cipher_records for c in r]
+        unigram_outcome = frequency_match_attack(
+            flat, unigrams, truth=prp.decrypt
+        )
+        bigram_outcome = bigram_hillclimb_attack(
+            cipher_records, unigrams, bigrams, truth=prp.decrypt,
+            iterations=3000, restarts=2, seed=1,
+        )
+        assert (
+            bigram_outcome.codebook_accuracy
+            >= unigram_outcome.codebook_accuracy
+        )
+        assert bigram_outcome.codebook_accuracy > 0.6
+
+    def test_fails_without_structure(self):
+        """IID uniform symbols leave nothing for the solver to climb."""
+        rng = random.Random(4)
+        records = [
+            [rng.randrange(32) for __ in range(12)] for __ in range(300)
+        ]
+        model_sample = [
+            [rng.randrange(32) for __ in range(12)] for __ in range(300)
+        ]
+        unigrams = Counter(s for r in model_sample for s in r)
+        bigrams = Counter(
+            (r[i], r[i + 1])
+            for r in model_sample
+            for i in range(len(r) - 1)
+        )
+        prp = FeistelPRP(b"flat", 32)
+        cipher_records = [[prp.encrypt(s) for s in r] for r in records]
+        outcome = bigram_hillclimb_attack(
+            cipher_records, unigrams, bigrams, truth=prp.decrypt,
+            iterations=1500, restarts=1, seed=2,
+        )
+        assert outcome.codebook_accuracy < 0.3
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            bigram_hillclimb_attack([], Counter(), Counter(),
+                                    truth=lambda c: c)
+
+    def test_deterministic_per_seed(self, corpus):
+        records, unigrams, bigrams = corpus
+        prp = FeistelPRP(b"det", 16)
+        cipher_records = [[prp.encrypt(s) for s in r]
+                          for r in records[:100]]
+        a = bigram_hillclimb_attack(
+            cipher_records, unigrams, bigrams, truth=prp.decrypt,
+            iterations=500, restarts=1, seed=9,
+        )
+        b = bigram_hillclimb_attack(
+            cipher_records, unigrams, bigrams, truth=prp.decrypt,
+            iterations=500, restarts=1, seed=9,
+        )
+        assert a.guesses == b.guesses

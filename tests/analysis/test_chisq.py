@@ -1,0 +1,75 @@
+"""χ² against uniform."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.chisq import chi_square_uniform, ngram_chi_square
+
+
+class TestChiSquare:
+    def test_perfectly_uniform_is_zero(self):
+        counts = Counter({i: 10 for i in range(8)})
+        assert chi_square_uniform(counts, 8) == 0.0
+
+    def test_known_value(self):
+        # O = (6, 2), E = 4 each: chi^2 = (2^2 + 2^2)/4 = 2.
+        counts = Counter({"a": 6, "b": 2})
+        assert chi_square_uniform(counts, 2) == pytest.approx(2.0)
+
+    def test_absent_categories_accounted(self):
+        # All mass on one of 4 cells: chi^2 = (N-E)^2/E + 3E with E=N/4.
+        counts = Counter({"a": 8})
+        expected = (8 - 2) ** 2 / 2 + 3 * 2
+        assert chi_square_uniform(counts, 4) == pytest.approx(expected)
+
+    def test_category_space_too_small(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform(Counter({"a": 1, "b": 1}), 1)
+
+    def test_empty_census(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform(Counter(), 4)
+
+    def test_skew_increases_chi(self):
+        flat = Counter({i: 100 for i in range(4)})
+        skewed = Counter({0: 250, 1: 50, 2: 50, 3: 50})
+        assert chi_square_uniform(skewed, 4) > chi_square_uniform(flat, 4)
+
+
+class TestNgramChiSquare:
+    def test_encoded_stream_full_space(self):
+        # Stream uses 2 of 4 codes: absent codes must count.
+        chi, counts = ngram_chi_square([bytes([0, 1, 0, 1])], 1,
+                                       symbol_space=4)
+        assert counts[bytes([0])] == 2
+        assert chi > 0
+
+    def test_raw_text_alphabet_derived(self):
+        chi_uniform, __ = ngram_chi_square(["ABAB"], 1)
+        assert chi_uniform == 0.0
+
+    def test_digram_category_space_is_alphabet_squared(self):
+        # "AB" over alphabet {A,B}: 1 digram observed of 4 possible.
+        chi, counts = ngram_chi_square(["AB"], 2)
+        assert sum(counts.values()) == 1
+        # E = 1/4; chi = (1 - .25)^2/.25 + 3*.25 = 3.0
+        assert chi == pytest.approx(3.0)
+
+    def test_generator_input_accepted(self):
+        chi, __ = ngram_chi_square(
+            (s for s in [b"\x00\x01", b"\x01\x00"]), 1, symbol_space=2
+        )
+        assert chi == 0.0
+
+
+@given(
+    st.lists(st.integers(0, 7), min_size=8, max_size=400),
+    st.integers(8, 16),
+)
+def test_property_chi_nonnegative_and_scale(values, space):
+    counts = Counter(values)
+    chi = chi_square_uniform(counts, space)
+    assert chi >= 0

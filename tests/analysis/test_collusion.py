@@ -1,0 +1,80 @@
+"""Collusion analysis of dispersal sites."""
+
+import random
+
+import pytest
+
+from repro.analysis.collusion import coalition_view, collusion_sweep
+from repro.core.dispersion import Disperser
+
+
+@pytest.fixture(scope="module")
+def skewed_values():
+    rng = random.Random(7)
+    weights = [2 ** max(0, 8 - v // 16) for v in range(256)]
+    return rng.choices(range(256), weights, k=4000)
+
+
+@pytest.fixture(scope="module")
+def disperser():
+    return Disperser(k=4, piece_bits=2, seed=3)
+
+
+class TestCoalitionView:
+    def test_single_site_sees_least(self, disperser, skewed_values):
+        view = coalition_view(disperser, skewed_values, [0])
+        assert view.known_bits == 2
+        assert not view.full_reconstruction
+
+    def test_full_coalition_reconstructs(self, disperser, skewed_values):
+        view = coalition_view(disperser, skewed_values, [0, 1, 2, 3])
+        assert view.full_reconstruction
+        assert view.known_bits == 8
+
+    def test_structure_returns_with_coalition_size(
+        self, disperser, skewed_values
+    ):
+        """The paper's caveat, measured: more colluders, more leak."""
+        distinct = [
+            coalition_view(disperser, skewed_values,
+                           list(range(size))).distinct_ratio
+            for size in (1, 2, 4)
+        ]
+        # With one site, many chunks collide into few piece values;
+        # with all sites the stream regains full chunk distinctness.
+        assert distinct[0] < distinct[1] <= distinct[2] * 1.001
+
+    def test_known_bits_monotone(self, disperser, skewed_values):
+        bits = [
+            coalition_view(disperser, skewed_values,
+                           list(range(size))).known_bits
+            for size in (1, 2, 3, 4)
+        ]
+        assert bits == sorted(bits)
+
+    def test_validation(self, disperser, skewed_values):
+        with pytest.raises(ValueError):
+            coalition_view(disperser, skewed_values, [])
+        with pytest.raises(ValueError):
+            coalition_view(disperser, skewed_values, [9])
+        with pytest.raises(ValueError):
+            coalition_view(disperser, [], [0])
+
+    def test_duplicate_sites_deduplicated(self, disperser,
+                                          skewed_values):
+        view = coalition_view(disperser, skewed_values, [1, 1])
+        assert view.sites == (1,)
+
+
+class TestSweep:
+    def test_sweep_covers_all_sizes(self, disperser, skewed_values):
+        views = collusion_sweep(disperser, skewed_values,
+                                max_coalitions_per_size=2)
+        sizes = {len(v.sites) for v in views}
+        assert sizes == {1, 2, 3, 4}
+
+    def test_only_full_coalitions_reconstruct(self, disperser,
+                                              skewed_values):
+        views = collusion_sweep(disperser, skewed_values)
+        for view in views:
+            assert view.full_reconstruction == (len(view.sites) == 4)

@@ -1,0 +1,60 @@
+"""n-gram counting."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ngrams import ngram_counts, top_ngrams
+
+
+class TestCounts:
+    def test_unigrams(self):
+        assert ngram_counts(["ABA"], 1) == Counter({"A": 2, "B": 1})
+
+    def test_bigrams(self):
+        assert ngram_counts(["ANNA"], 2) == Counter(
+            {"AN": 1, "NN": 1, "NA": 1}
+        )
+
+    def test_no_cross_record_ngrams(self):
+        """n-grams never straddle record boundaries."""
+        joined = ngram_counts(["ABCD"], 2)
+        split = ngram_counts(["AB", "CD"], 2)
+        assert joined["BC"] == 1
+        assert split["BC"] == 0
+
+    def test_bytes_sequences(self):
+        counts = ngram_counts([b"\x01\x02\x01\x02"], 2)
+        assert counts[b"\x01\x02"] == 2
+
+    def test_short_sequences_ignored(self):
+        assert ngram_counts(["A"], 2) == Counter()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngram_counts(["AB"], 0)
+
+
+class TestTop:
+    def test_ordering_and_share(self):
+        counts = Counter({"A": 3, "B": 1})
+        top = top_ngrams(counts, 2)
+        assert top[0] == ("A", 0.75)
+        assert top[1] == ("B", 0.25)
+
+    def test_bytes_keys_rendered_as_digits(self):
+        counts = Counter({bytes([1, 2]): 5})
+        assert top_ngrams(counts, 1)[0][0] == "12"
+
+    def test_empty(self):
+        assert top_ngrams(Counter(), 3) == []
+
+
+@given(st.lists(st.text(alphabet="AB", max_size=12), max_size=20),
+       st.integers(1, 3))
+def test_property_total_count(sequences, n):
+    counts = ngram_counts(sequences, n)
+    expected = sum(max(0, len(s) - n + 1) for s in sequences)
+    assert sum(counts.values()) == expected

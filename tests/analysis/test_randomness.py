@@ -1,0 +1,102 @@
+"""The NIST-style randomness battery."""
+
+import random
+
+import pytest
+
+from repro.analysis.randomness import (
+    approximate_entropy_test,
+    bits_of,
+    block_frequency_test,
+    cumulative_sums_test,
+    longest_run_test,
+    monobit_test,
+    randomness_battery,
+    runs_test,
+    serial_test,
+)
+
+
+@pytest.fixture(scope="module")
+def random_bytes():
+    return random.Random(42).randbytes(4096)
+
+
+@pytest.fixture(scope="module")
+def biased_bytes():
+    """Heavily biased: mostly zero bits."""
+    rng = random.Random(42)
+    return bytes(rng.choice([0, 0, 0, 1]) for __ in range(4096))
+
+
+class TestBitsOf:
+    def test_msb_first(self):
+        assert bits_of(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits_of(b"\x01") == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_length(self):
+        assert len(bits_of(b"abc")) == 24
+
+
+class TestOnRandomData:
+    def test_battery_passes(self, random_bytes):
+        results = randomness_battery(random_bytes)
+        passed = sum(1 for r in results if r.passed)
+        assert passed >= 6  # allow one marginal failure at alpha=0.01
+
+    def test_p_values_in_range(self, random_bytes):
+        for result in randomness_battery(random_bytes):
+            assert 0.0 <= result.p_value <= 1.0
+
+
+class TestOnBiasedData:
+    def test_monobit_rejects(self, biased_bytes):
+        assert not monobit_test(bits_of(biased_bytes)).passed
+
+    def test_runs_rejects(self, biased_bytes):
+        assert not runs_test(bits_of(biased_bytes)).passed
+
+    def test_battery_mostly_rejects(self, biased_bytes):
+        results = randomness_battery(biased_bytes)
+        failed = sum(1 for r in results if not r.passed)
+        assert failed >= 5
+
+
+class TestOnPathologicalData:
+    def test_alternating_bits_fail_runs(self):
+        data = b"\x55" * 1024  # 01010101...
+        assert monobit_test(bits_of(data)).passed  # perfectly balanced
+        assert not runs_test(bits_of(data)).passed  # way too many runs
+
+    def test_constant_fails_everything(self):
+        data = b"\x00" * 1024
+        results = randomness_battery(data)
+        assert all(not r.passed for r in results)
+
+    def test_text_fails(self):
+        data = (b"SCHWARZ LITWIN TSUI " * 60)[:1024]
+        results = randomness_battery(data)
+        assert sum(1 for r in results if not r.passed) >= 4
+
+
+class TestIndividualTests:
+    def test_block_frequency_short_stream(self):
+        with pytest.raises(ValueError):
+            block_frequency_test([0, 1] * 10, block_size=128)
+
+    def test_longest_run_short_stream(self):
+        with pytest.raises(ValueError):
+            longest_run_test([0, 1] * 8)
+
+    def test_serial_on_random(self, random_bytes):
+        assert serial_test(bits_of(random_bytes)).p_value > 0.001
+
+    def test_approximate_entropy_on_random(self, random_bytes):
+        assert approximate_entropy_test(bits_of(random_bytes)).passed
+
+    def test_cumulative_sums_on_random(self, random_bytes):
+        assert cumulative_sums_test(bits_of(random_bytes)).passed
+
+    def test_battery_needs_enough_data(self):
+        with pytest.raises(ValueError):
+            randomness_battery(b"short")

@@ -1,0 +1,40 @@
+"""The ``python -m repro.bench`` experiment CLI."""
+
+import pytest
+
+from repro.bench.__main__ import ALL, main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["fig2", "--records", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["storage", "fig3", "--records", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 2.5" in out
+        assert "Figure 3" in out
+
+    def test_sample_option(self, capsys):
+        assert main(["fig5", "--records", "400", "--sample", "200"]) == 0
+        assert "200 records" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment", "--records", "50"])
+
+    def test_csv_output(self, capsys, tmp_path):
+        assert main(["storage", "--records", "50",
+                     "--csv", str(tmp_path)]) == 0
+        csv_file = tmp_path / "storage.csv"
+        assert csv_file.exists()
+        first_line = csv_file.read_text().splitlines()[0]
+        assert first_line.startswith("layout,")
+
+    def test_all_registered_names_resolve(self, capsys):
+        # Every name in ALL must dispatch (run the cheapest subset to
+        # keep the suite fast; the rest are covered by benchmarks/).
+        cheap = [n for n in ALL if n in ("fig2", "fig3", "storage")]
+        assert main(cheap + ["--records", "50"]) == 0

@@ -1,0 +1,121 @@
+"""Smoke and shape tests for the experiment harness (tiny sizes)."""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench.tables import TableResult
+from repro.data.phonebook import generate_directory
+
+
+@pytest.fixture(scope="module")
+def tiny_directory():
+    return generate_directory(1500, seed=2006)
+
+
+def _values(table: TableResult, column: str) -> list[str]:
+    index = table.headers.index(column)
+    return [row[index] for row in table.rows]
+
+
+class TestTableExperiments:
+    def test_table1(self, tiny_directory):
+        table = exp.exp_table1(tiny_directory)
+        assert len(table.rows) == 3 + 6 + 5 + 5
+        # χ² rows increase with the n-gram order.
+        chis = [float(r[1].replace(",", "")) for r in table.rows[:3]]
+        assert chis[0] < chis[1] < chis[2]
+
+    def test_table2(self, tiny_directory):
+        table = exp.exp_table2(tiny_directory)
+        chis = [float(r[1].replace(",", "")) for r in table.rows[:3]]
+        raw = exp.exp_table1(tiny_directory)
+        raw_chis = [float(r[1].replace(",", "")) for r in raw.rows[:3]]
+        # Dispersion shrinks χ² dramatically (paper: Table 2 vs 1).
+        assert chis[0] < raw_chis[0]
+
+    def test_table3_shapes(self, tiny_directory):
+        tables = exp.exp_table3(
+            tiny_directory, sweep={2: (8, 32), 6: (16, 64)}
+        )
+        assert len(tables) == 2
+        for table in tables:
+            singles = [
+                float(r[1].replace(",", "")) for r in table.rows
+            ]
+            # χ² grows with the number of encodings.
+            assert singles[0] <= singles[-1]
+
+    def test_table4(self, tiny_directory):
+        tables = exp.exp_table4(
+            tiny_directory, sample_size=150, encodings=(8, 16)
+        )
+        assert len(tables) == 2
+        all_entries, long_names = tables
+        fp1 = [int(v.replace(",", "")) for v in _values(all_entries, "FP1")]
+        fp2 = [int(v.replace(",", "")) for v in _values(all_entries, "FP2")]
+        assert all(b >= a for a, b in zip(fp1, fp2))  # FP2 >= FP1
+        fp1_long = [
+            int(v.replace(",", "")) for v in _values(long_names, "FP1")
+        ]
+        assert sum(fp1_long) <= sum(fp1)
+
+    def test_table5(self, tiny_directory):
+        tables = exp.exp_table5(
+            tiny_directory, sample_size=150, encodings=(8, 64)
+        )
+        all_entries = tables[0]
+        fps = [int(v.replace(",", "")) for v in _values(all_entries, "FP")]
+        assert fps[0] >= fps[-1]
+
+
+class TestFigureExperiments:
+    def test_fig2_reports_single_hit(self):
+        table = exp.exp_fig2()
+        hits = [r for r in table.rows if r[0].startswith("hit")]
+        assert len(hits) == 1
+
+    def test_fig3_site_count(self):
+        table = exp.exp_fig3()
+        # 1 store row + 2 chunkings x 4 dispersal sites.
+        assert len(table.rows) == 9
+
+    def test_fig5_greedy_table(self, tiny_directory):
+        table = exp.exp_fig5(tiny_directory, sample_size=300)
+        assert table.headers == ["Symbol", "Quantity", "Encoding"]
+        codes = {int(r[2]) for r in table.rows}
+        assert codes <= set(range(8))
+        quantities = [int(r[1].replace(",", "")) for r in table.rows]
+        assert quantities == sorted(quantities, reverse=True)
+
+
+class TestSystemExperiments:
+    def test_storage_table(self):
+        table = exp.exp_storage()
+        row = dict(zip(_values(table, "layout"),
+                       _values(table, "min query")))
+        assert row["s=8, 4 sites"] == "9"
+        assert row["s=8, 2 sites"] == "11"
+
+    def test_lhstar_constant_cost(self):
+        table = exp.exp_lhstar(record_counts=(128, 512),
+                               bucket_capacity=16)
+        converged = _values(table, "msgs/lookup (converged)")
+        assert all(v == "2.00" for v in converged)
+        hops = [int(v) for v in _values(table, "max hops")]
+        assert max(hops) <= 2
+
+    def test_e2e_recall(self, tiny_directory):
+        table = exp.exp_search_e2e(tiny_directory, n_records=60,
+                                   n_queries=12)
+        assert all(v in ("100%", "-") for v in _values(table, "recall"))
+        assert _values(table, "recall")[0] == "100%"
+
+    def test_ablation_runs(self, tiny_directory):
+        table = exp.exp_ablation(tiny_directory, n_records=120)
+        assert len(table.rows) == 4
+
+    def test_randomness_runs(self, tiny_directory):
+        table = exp.exp_randomness(tiny_directory, n_records=400)
+        # Raw text fails far more tests than the full pipeline.
+        raw_failed = int(table.rows[0][2])
+        assert raw_failed >= 5

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.data.phonebook import Directory, generate_directory
+
+# A leaner hypothesis profile: the suite has many property tests and
+# some exercise moderately expensive machinery.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def directory() -> Directory:
+    """A small deterministic synthetic directory shared by all tests."""
+    return generate_directory(2000, seed=2006)
+
+
+@pytest.fixture(scope="session")
+def sample_entries(directory):
+    """A 200-entry sample, the workload of the FP-style tests."""
+    return directory.sample(200, seed=7).entries
+
+
+@pytest.fixture(scope="session")
+def name_corpus(directory) -> list[bytes]:
+    return [entry.name.encode("ascii") for entry in directory]

@@ -1,0 +1,103 @@
+"""Anchored (start/end) searches — the paper's 'Schwarz ' with a
+leading space and a trailing zero, done as a first-class query."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EncryptedSearchableStore, SchemeParameters
+
+RECORDS = {
+    1: "SCHWARZ THOMAS",
+    2: "THOMAS SCHWARZ",
+    3: "SCHWARZMANN THOMAS",
+    4: "MAX SCHWARZ JR",
+    5: "THOMAS",
+}
+
+
+@pytest.fixture(scope="module")
+def store():
+    store = EncryptedSearchableStore(SchemeParameters.full(4))
+    for rid, text in RECORDS.items():
+        store.put(rid, text)
+    return store
+
+
+class TestEndAnchor:
+    def test_matches_only_suffixes(self, store):
+        result = store.search("SCHWARZ", anchor_end=True)
+        assert result.matches == frozenset({2})
+
+    def test_unanchored_matches_all_occurrences(self, store):
+        result = store.search("SCHWARZ")
+        assert result.matches == frozenset({1, 2, 3, 4})
+
+    def test_end_anchor_allows_short_patterns(self, store):
+        """Zero-extension makes short suffix queries legal."""
+        result = store.search("JR", anchor_end=True)
+        assert result.matches == frozenset({4})
+
+    def test_whole_record_as_suffix(self, store):
+        result = store.search("THOMAS", anchor_end=True)
+        assert result.matches == frozenset({1, 3, 5})
+
+
+class TestStartAnchor:
+    def test_matches_only_prefixes(self, store):
+        result = store.search("THOMAS", anchor_start=True)
+        assert result.matches == frozenset({2, 5})
+
+    def test_prefix_of_longer_word(self, store):
+        result = store.search("SCHWARZ", anchor_start=True)
+        assert result.matches == frozenset({1, 3})
+
+    def test_no_match(self, store):
+        result = store.search("WARZ", anchor_start=True)
+        assert result.matches == frozenset()
+
+
+class TestCombined:
+    def test_exact_record_match(self, store):
+        result = store.search("THOMAS", anchor_start=True,
+                              anchor_end=True)
+        assert result.matches == frozenset({5})
+
+    def test_anchors_with_drop_partial(self):
+        store = EncryptedSearchableStore(
+            SchemeParameters.full(4, drop_partial_chunks=True)
+        )
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        result = store.search("THOMAS", anchor_start=True)
+        assert result.matches == frozenset({2, 5})
+
+
+NAME_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ "
+
+
+@settings(max_examples=12)
+@given(
+    st.lists(
+        st.text(alphabet=NAME_ALPHABET, min_size=6, max_size=20),
+        min_size=2, max_size=6, unique=True,
+    ),
+    st.data(),
+)
+def test_property_anchored_recall(texts, data):
+    """End- and start-anchored searches never miss a true match."""
+    store = EncryptedSearchableStore(SchemeParameters.full(4))
+    for rid, text in enumerate(texts):
+        store.put(rid, text)
+    rid = data.draw(st.integers(0, len(texts) - 1))
+    text = texts[rid]
+    cut = data.draw(st.integers(1, len(text) - 1))
+    suffix, prefix = text[cut:], text[:max(cut, 4)]
+    if suffix:
+        result = store.search(suffix, anchor_end=True)
+        expected = {r for r, t in enumerate(texts) if t.endswith(suffix)}
+        assert expected <= result.matches
+        assert result.matches == expected  # verify filters exactly
+    result = store.search(prefix, anchor_start=True)
+    expected = {r for r, t in enumerate(texts) if t.startswith(prefix)}
+    assert result.matches == expected

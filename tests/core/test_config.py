@@ -1,0 +1,122 @@
+"""Scheme parameter validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import SchemeParameters
+from repro.core.errors import ConfigurationError
+
+
+class TestConstructors:
+    def test_full(self):
+        p = SchemeParameters.full(4)
+        assert p.chunk_size == 4
+        assert p.layout.group_count == 4
+
+    def test_reduced(self):
+        p = SchemeParameters.reduced(8, 4)
+        assert p.layout.offsets == (0, 2, 4, 6)
+
+
+class TestDerived:
+    def test_raw_chunk_bits(self):
+        assert SchemeParameters.full(4).chunk_bits == 32
+
+    def test_encoded_chunk_bits(self):
+        assert SchemeParameters.full(4, n_codes=64).chunk_bits == 6
+        assert SchemeParameters.full(4, n_codes=65).chunk_bits == 7
+        assert SchemeParameters.full(4, n_codes=256).chunk_bits == 8
+
+    def test_piece_bits(self):
+        p = SchemeParameters.full(4, n_codes=64, dispersal=2)
+        assert p.piece_bits == 3
+        assert p.piece_width == 1
+
+    def test_piece_width_raw(self):
+        assert SchemeParameters.full(4).piece_width == 4
+        assert SchemeParameters.full(4, dispersal=2).piece_width == 2
+
+    def test_value_domain(self):
+        assert SchemeParameters.full(2).value_domain == 1 << 16
+
+    def test_index_sites_per_record(self):
+        """Figure 3: two chunkings x four dispersal sites = 8."""
+        p = SchemeParameters.reduced(8, 2, n_codes=256, dispersal=4)
+        assert p.index_sites_per_record == 8
+
+    def test_min_query_length(self):
+        assert SchemeParameters.full(4).min_query_length == 4
+        assert SchemeParameters.reduced(8, 4).min_query_length == 9
+
+    def test_describe_mentions_stages(self):
+        text = SchemeParameters.full(4, n_codes=64, dispersal=2).describe()
+        assert "64 codes" in text and "k=2" in text
+
+
+class TestValidation:
+    def test_dispersal_must_divide_chunk_bits(self):
+        # 32 bits, k=5 does not divide.
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, dispersal=5)
+
+    def test_dispersal_divides_encoded_bits(self):
+        # 6 bits with k=4 does not divide.
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, n_codes=64, dispersal=4)
+        SchemeParameters.full(4, n_codes=64, dispersal=3)  # 2-bit pieces
+
+    def test_piece_bits_cap(self):
+        # raw s=8 -> 64 bits; k=2 -> 32-bit pieces > GF(2^16).
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(8, dispersal=2)
+
+    def test_n_codes_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, n_codes=1)
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, n_codes=(1 << 16) + 1)
+
+    def test_dispersal_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, dispersal=0)
+
+    def test_master_key_required(self):
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, master_key=b"")
+
+    def test_frozen(self):
+        p = SchemeParameters.full(4)
+        with pytest.raises(AttributeError):
+            p.dispersal = 2  # type: ignore[misc]
+
+    def test_aggregation_validated(self):
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, aggregation="most")
+        SchemeParameters.full(4, aggregation="any")
+
+
+class TestAggregationOption:
+    def test_any_forces_or_rule(self):
+        from repro.core.index import IndexPipeline
+
+        auto = IndexPipeline(SchemeParameters.full(4))
+        forced = IndexPipeline(
+            SchemeParameters.full(4, aggregation="any")
+        )
+        assert auto.plan_query(b"ABCDEFG").required_groups == 4
+        assert forced.plan_query(b"ABCDEFG").required_groups == 1
+
+    def test_any_increases_candidates_never_misses(self):
+        from repro.core import EncryptedSearchableStore
+
+        texts = {1: "SCHWARZ THOMAS", 2: "LITWIN WITOLD"}
+        strict = EncryptedSearchableStore(SchemeParameters.full(4))
+        loose = EncryptedSearchableStore(
+            SchemeParameters.full(4, aggregation="any")
+        )
+        for rid, text in texts.items():
+            strict.put(rid, text)
+            loose.put(rid, text)
+        for query in ("SCHWARZ", "WITOLD"):
+            s = strict.search(query, verify=False)
+            l = loose.search(query, verify=False)
+            assert s.candidates <= l.candidates

@@ -1,0 +1,147 @@
+"""Stage-3 dispersion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dispersion import Disperser
+from repro.core.errors import ConfigurationError
+from repro.gf import GF2, Matrix, identity_matrix
+
+
+class TestConstruction:
+    def test_defaults_to_cauchy(self):
+        # GF(2^4) hosts a 2x2 Cauchy matrix: all-nonzero, invertible.
+        d = Disperser(k=2, piece_bits=4)
+        assert d.matrix.all_nonzero()
+        assert d.matrix.is_invertible()
+
+    def test_small_field_default_still_invertible(self):
+        # The paper's Table-2 geometry (k=4 over GF(2^2)) cannot host
+        # a Cauchy matrix (needs 2k=8 distinct points, field has 4);
+        # the fallback random non-singular matrix may contain zeros.
+        d = Disperser(k=4, piece_bits=2)
+        assert d.matrix.is_invertible()
+
+    def test_seeded_random_matrix(self):
+        a = Disperser(k=4, piece_bits=2, seed=1)
+        b = Disperser(k=4, piece_bits=2, seed=1)
+        assert a.matrix == b.matrix
+        c = Disperser(k=4, piece_bits=2, seed=2)
+        assert a.matrix != c.matrix
+
+    def test_explicit_matrix(self):
+        field = GF2(4)
+        m = identity_matrix(field, 2)
+        d = Disperser(k=2, piece_bits=4, matrix=m)
+        assert d.disperse(0xAB) == (0xA, 0xB)
+
+    def test_singular_matrix_rejected(self):
+        field = GF2(4)
+        singular = Matrix(field, [[1, 1], [1, 1]])
+        with pytest.raises(ConfigurationError):
+            Disperser(k=2, piece_bits=4, matrix=singular)
+
+    def test_wrong_shape_rejected(self):
+        field = GF2(4)
+        with pytest.raises(ConfigurationError):
+            Disperser(k=3, piece_bits=4, matrix=identity_matrix(field, 2))
+
+    def test_wrong_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Disperser(k=2, piece_bits=4,
+                      matrix=identity_matrix(GF2(8), 2))
+
+    def test_k_too_small(self):
+        with pytest.raises(ConfigurationError):
+            Disperser(k=1, piece_bits=4)
+
+    def test_small_field_fallback(self):
+        """GF(2) cannot host a 4x4 Cauchy matrix; fallback must work."""
+        d = Disperser(k=4, piece_bits=1)
+        assert d.matrix.is_invertible()
+
+
+class TestSplitJoin:
+    def test_split_big_endian(self):
+        d = Disperser(k=4, piece_bits=2)
+        assert d.split(0b11_10_01_00) == (3, 2, 1, 0)
+
+    def test_join_inverts_split(self):
+        d = Disperser(k=4, piece_bits=2)
+        for value in range(256):
+            assert d.join(d.split(value)) == value
+
+    def test_split_range_check(self):
+        d = Disperser(k=2, piece_bits=2)
+        with pytest.raises(ValueError):
+            d.split(16)
+
+    def test_join_length_check(self):
+        d = Disperser(k=2, piece_bits=2)
+        with pytest.raises(ValueError):
+            d.join((1,))
+
+
+class TestDispersion:
+    def test_roundtrip_exhaustive(self):
+        d = Disperser(k=4, piece_bits=2, seed=3)
+        for value in range(256):
+            assert d.recover(d.disperse(value)) == value
+
+    def test_equality_preserved(self):
+        """Equal chunks disperse to equal piece vectors (searchability),
+        distinct chunks to distinct vectors (invertibility)."""
+        d = Disperser(k=2, piece_bits=4)
+        images = {d.disperse(v) for v in range(256)}
+        assert len(images) == 256
+
+    def test_every_piece_depends_on_whole_chunk(self):
+        """The paper's design point: 'a dispersed symbol d_i is
+        calculated from the whole chunk and not just a piece'."""
+        d = Disperser(k=2, piece_bits=4)  # Cauchy: all nonzero coeffs
+        # Vary only the low piece; the first output must change too.
+        a = d.disperse(0x00)
+        b = d.disperse(0x01)
+        assert a[0] != b[0]
+
+    def test_stream_dispersal_shapes(self):
+        d = Disperser(k=4, piece_bits=2)
+        streams = d.disperse_stream(list(range(10)))
+        assert len(streams) == 4
+        assert all(len(s) == 10 for s in streams)
+
+    def test_stream_consistency_with_single(self):
+        d = Disperser(k=4, piece_bits=2, seed=9)
+        values = [7, 7, 200, 0]
+        streams = d.disperse_stream(values)
+        for i, value in enumerate(values):
+            assert tuple(s[i] for s in streams) == d.disperse(value)
+
+    def test_pack_stream_widths(self):
+        d8 = Disperser(k=2, piece_bits=8)
+        assert d8.piece_width == 1
+        assert len(d8.pack_stream([1, 2, 3])) == 3
+        d12 = Disperser(k=2, piece_bits=12)
+        assert d12.piece_width == 2
+        assert len(d12.pack_stream([1, 2, 3])) == 6
+
+    def test_recover_length_check(self):
+        d = Disperser(k=2, piece_bits=2)
+        with pytest.raises(ValueError):
+            d.recover((1,))
+
+
+@given(
+    st.sampled_from([(2, 2), (2, 8), (4, 2), (4, 4), (3, 4), (8, 2)]),
+    st.integers(0, 2 ** 31),
+    st.data(),
+)
+def test_property_roundtrip(geometry, seed, data):
+    k, piece_bits = geometry
+    d = Disperser(k=k, piece_bits=piece_bits, seed=seed % 100)
+    value = data.draw(st.integers(0, (1 << d.chunk_bits) - 1))
+    pieces = d.disperse(value)
+    assert len(pieces) == k
+    assert all(0 <= p < (1 << piece_bits) for p in pieces)
+    assert d.recover(pieces) == value

@@ -1,0 +1,139 @@
+"""The index pipeline: stage composition, keys and query planning."""
+
+import pytest
+
+from repro.core.config import SchemeParameters
+from repro.core.encoder import FrequencyEncoder
+from repro.core.errors import ConfigurationError, QueryTooShortError
+from repro.core.index import IndexPipeline
+
+CORPUS = [b"SCHWARZ THOMAS", b"LITWIN WITOLD", b"TSUI PETER",
+          b"ABOGADO ALEJANDRO"]
+
+
+def encoder_for(params):
+    return FrequencyEncoder.train(CORPUS, params.chunk_size, params.n_codes)
+
+
+class TestConstruction:
+    def test_encoder_presence_must_match_config(self):
+        with pytest.raises(ConfigurationError):
+            IndexPipeline(SchemeParameters.full(4, n_codes=8))
+        with pytest.raises(ConfigurationError):
+            IndexPipeline(
+                SchemeParameters.full(4),
+                FrequencyEncoder.train(CORPUS, 4, 8),
+            )
+
+    def test_encoder_geometry_must_match(self):
+        params = SchemeParameters.full(4, n_codes=8)
+        with pytest.raises(ConfigurationError):
+            IndexPipeline(params, FrequencyEncoder.train(CORPUS, 2, 8))
+        with pytest.raises(ConfigurationError):
+            IndexPipeline(params, FrequencyEncoder.train(CORPUS, 4, 16))
+
+
+class TestIndexStreams:
+    def test_one_stream_per_group_and_site(self):
+        params = SchemeParameters.full(4, n_codes=64, dispersal=2)
+        pipeline = IndexPipeline(params, encoder_for(params))
+        streams = pipeline.build_index_streams(b"SCHWARZ THOMAS\x00")
+        assert set(streams) == {
+            (g, s) for g in range(4) for s in range(2)
+        }
+
+    def test_stream_lengths_match_chunk_counts(self):
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        streams = pipeline.build_index_streams(b"A" * 8)
+        # offset 0: 2 chunks x 4 bytes; offset 1: 3 chunks x 4 bytes.
+        assert len(streams[(0, 0)]) == 8
+        assert len(streams[(1, 0)]) == 12
+
+    def test_ecb_determinism_within_chunking(self):
+        """Equal chunks produce equal stored values (searchability)."""
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        streams = pipeline.build_index_streams(b"ABCDABCD")
+        stream = streams[(0, 0)]
+        assert stream[:4] == stream[4:8]
+
+    def test_chunkings_use_independent_keys(self):
+        """The same chunk value encrypts differently per chunking."""
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        v = pipeline.chunk_value(b"ABCD")
+        assert (
+            pipeline._prps[0].encrypt(v) != pipeline._prps[1].encrypt(v)
+        )
+
+    def test_plain_mode_stores_raw_values(self):
+        params = SchemeParameters.full(4, encrypt=False)
+        pipeline = IndexPipeline(params)
+        streams = pipeline.build_index_streams(b"ABCD")
+        assert streams[(0, 0)] == b"ABCD"
+
+    def test_drop_partial_shrinks_streams(self):
+        keep = IndexPipeline(SchemeParameters.full(4))
+        drop = IndexPipeline(
+            SchemeParameters.full(4, drop_partial_chunks=True)
+        )
+        content = b"ABCDEFG"  # 7 symbols: offset-1 has 2 partials
+        kept = keep.build_index_streams(content)[(1, 0)]
+        dropped = drop.build_index_streams(content)[(1, 0)]
+        assert len(dropped) < len(kept)
+
+    def test_stage2_compresses(self):
+        params = SchemeParameters.full(4, n_codes=64)
+        pipeline = IndexPipeline(params, encoder_for(params))
+        raw = IndexPipeline(SchemeParameters.full(4))
+        content = b"SCHWARZ THOMAS\x00"
+        assert (
+            len(pipeline.build_index_streams(content)[(0, 0)])
+            < len(raw.build_index_streams(content)[(0, 0)])
+        )
+
+
+class TestQueryPlans:
+    def test_plan_shape_full_layout(self):
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        plan = pipeline.plan_query(b"SCHWARZ")
+        assert plan.group_count == 4
+        assert plan.alignments == (0, 1, 2, 3)
+        assert plan.sites == 1
+        assert set(plan.needles) == {
+            (g, a) for g in range(4) for a in range(4)
+        }
+
+    def test_short_pattern_drops_alignments(self):
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        plan = pipeline.plan_query(b"ABCD")
+        assert plan.alignments == (0,)
+        assert plan.required_groups == 1
+
+    def test_too_short_pattern_rejected(self):
+        params = SchemeParameters.reduced(8, 4)
+        pipeline = IndexPipeline(params)
+        with pytest.raises(QueryTooShortError):
+            pipeline.plan_query(b"EIGHTCHA"[:8])
+
+    def test_required_groups_scales_with_alignments(self):
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        assert pipeline.plan_query(b"ABCDEFG").required_groups == 4
+        assert pipeline.plan_query(b"ABCDE").required_groups == 2
+
+    def test_reduced_layout_required_one(self):
+        params = SchemeParameters.reduced(8, 4)
+        pipeline = IndexPipeline(params)
+        plan = pipeline.plan_query(b"ALEJANDRO")
+        assert plan.required_groups == 1
+        assert plan.alignments == (0, 1)
+
+    def test_needles_differ_across_groups(self):
+        params = SchemeParameters.full(4)
+        pipeline = IndexPipeline(params)
+        plan = pipeline.plan_query(b"SCHWARZ ")
+        assert plan.needles[(0, 0)] != plan.needles[(1, 0)]

@@ -1,0 +1,117 @@
+"""Whole-store persistence, corpus loading, batched queries."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    EncryptedSearchableStore,
+    FrequencyEncoder,
+    SchemeParameters,
+)
+from repro.core.serialization import store_from_json, store_to_json
+from repro.data.phonebook import Directory
+
+RECORDS = {
+    1: "SCHWARZ THOMAS",
+    2: "LITWIN WITOLD",
+    3: "TSUI PETER",
+}
+
+
+def make_store():
+    texts = [t.encode() for t in RECORDS.values()]
+    store = EncryptedSearchableStore(
+        SchemeParameters.full(4, n_codes=32),
+        encoder=FrequencyEncoder.train(texts, 4, 32),
+    )
+    for rid, text in RECORDS.items():
+        store.put(rid, text)
+    return store
+
+
+class TestStorePersistence:
+    def test_roundtrip_search(self):
+        dump = store_to_json(make_store())
+        restored = store_from_json(dump)
+        for rid, text in RECORDS.items():
+            assert restored.get(rid) == text
+            name = text.split(" ")[0]
+            assert rid in restored.search(name).matches
+
+    def test_dump_contains_no_plaintext(self):
+        dump = store_to_json(make_store())
+        assert "SCHWARZ" not in dump
+        assert "LITWIN" not in dump
+
+    def test_restored_store_is_mutable(self):
+        restored = store_from_json(store_to_json(make_store()))
+        restored.put(9, "NEW RECORD HERE")
+        assert 9 in restored.search("RECORD").matches
+        assert restored.delete(1)
+
+    def test_bucket_capacity_override(self):
+        restored = store_from_json(
+            store_to_json(make_store()), bucket_capacity=2
+        )
+        assert restored.get(2) == RECORDS[2]
+
+    def test_version_check(self):
+        data = json.loads(store_to_json(make_store()))
+        data["version"] = 0
+        with pytest.raises(ConfigurationError):
+            store_from_json(json.dumps(data))
+
+
+class TestDirectoryLoading:
+    def test_tab_separated(self):
+        directory = Directory.from_lines([
+            "SCHWARZ THOMAS\t415-409-0001",
+            "",
+            "LITWIN WITOLD\t415-409-0002",
+        ])
+        assert len(directory) == 2
+        assert directory.entries[0].last_name == "SCHWARZ"
+        assert directory.entries[1].rid == 4154090002
+
+    def test_figure4_format(self):
+        from repro.data.corpus import format_record
+        lines = [format_record("AKIMOTO YOSHIMI", "415-409-0019")]
+        directory = Directory.from_lines(lines)
+        assert directory.entries[0].name == "AKIMOTO YOSHIMI"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Directory.from_lines(["", "  "])
+
+
+class TestSearchBatch:
+    def test_matches_individual_searches(self):
+        store = make_store()
+        patterns = ["SCHWARZ", "WITOLD", "PETE"]
+        batch = store.search_batch(patterns)
+        for pattern in patterns:
+            assert batch[pattern].matches == \
+                store.search(pattern).matches
+
+    def test_one_round_cheaper_than_sequential(self):
+        store = make_store()
+        patterns = ["SCHWARZ", "WITOLD", "PETER", "THOMAS"]
+        batch_msgs = store.search_batch(
+            patterns, verify=False
+        )["SCHWARZ"].cost.messages
+        sequential = sum(
+            store.search(p, verify=False).cost.messages
+            for p in patterns
+        )
+        assert batch_msgs < sequential
+
+    def test_duplicate_patterns_deduplicated(self):
+        store = make_store()
+        batch = store.search_batch(["SCHWARZ", "SCHWARZ"])
+        assert set(batch) == {"SCHWARZ"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_store().search_batch([])

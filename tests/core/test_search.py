@@ -1,0 +1,130 @@
+"""Aligned matching and hit aggregation."""
+
+import pytest
+
+from repro.core.search import HitAggregator, SearchPlan, SiteHit, aligned_find
+
+
+class TestAlignedFind:
+    def test_aligned_hit(self):
+        assert aligned_find(b"ABCDEF", b"CD", 2) == [1]
+
+    def test_unaligned_occurrence_rejected(self):
+        assert aligned_find(b"ABCDEF", b"BC", 2) == []
+
+    def test_multiple_hits(self):
+        assert aligned_find(b"ABABAB", b"AB", 2) == [0, 1, 2]
+
+    def test_overlapping_occurrences_filtered_by_alignment(self):
+        assert aligned_find(b"AAAA", b"AA", 2) == [0, 1]
+
+    def test_width_one_finds_everything(self):
+        assert aligned_find(b"AAAA", b"AA", 1) == [0, 1, 2]
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(ValueError):
+            aligned_find(b"AB", b"", 1)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            aligned_find(b"AB", b"A", 0)
+
+    def test_needle_longer_than_haystack(self):
+        assert aligned_find(b"AB", b"ABCD", 2) == []
+
+
+def make_plan(sites=2, groups=2, alignments=(0, 1), required=2):
+    """A hand-built plan whose needles are trivially inspectable."""
+    needles = {}
+    for group in range(groups):
+        for alignment in alignments:
+            needles[(group, alignment)] = tuple(
+                bytes([group * 16 + alignment * 4 + site])
+                for site in range(sites)
+            )
+    return SearchPlan(
+        pattern=b"q",
+        needles=needles,
+        piece_width=1,
+        sites=sites,
+        group_count=groups,
+        alignments=tuple(alignments),
+        required_groups=required,
+    )
+
+
+class TestMatchSite:
+    def test_reports_per_alignment_positions(self):
+        plan = make_plan()
+        # Site (0,0): needle for alignment 0 is bytes([0]), for 1 is
+        # bytes([4]).
+        stream = bytes([9, 0, 4, 0])
+        hits = plan.match_site(0, 0, stream)
+        assert hits[0] == [1, 3]
+        assert hits[1] == [2]
+
+    def test_no_hits_is_empty(self):
+        plan = make_plan()
+        assert plan.match_site(0, 0, bytes([99, 98])) == {}
+
+    def test_request_size_counts_all_needles(self):
+        plan = make_plan(sites=2, groups=2, alignments=(0, 1))
+        assert plan.request_size() == 8  # 2*2*2 needles of 1 byte
+
+
+class TestAggregation:
+    def test_group_requires_all_sites_same_position(self):
+        plan = make_plan(sites=2, groups=1, alignments=(0,), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=0, site=0, positions={0: [3, 5]}))
+        agg.add(SiteHit(rid=1, group=0, site=1, positions={0: [5, 9]}))
+        assert agg.candidates() == {1}  # intersect at 5
+
+    def test_group_rejects_disjoint_positions(self):
+        plan = make_plan(sites=2, groups=1, alignments=(0,), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=0, site=0, positions={0: [3]}))
+        agg.add(SiteHit(rid=1, group=0, site=1, positions={0: [4]}))
+        assert agg.candidates() == set()
+
+    def test_group_rejects_missing_site(self):
+        plan = make_plan(sites=2, groups=1, alignments=(0,), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=0, site=0, positions={0: [3]}))
+        assert agg.candidates() == set()
+
+    def test_alignments_do_not_mix(self):
+        """Sites must agree per alignment, not across alignments."""
+        plan = make_plan(sites=2, groups=1, alignments=(0, 1), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=0, site=0, positions={0: [3]}))
+        agg.add(SiteHit(rid=1, group=0, site=1, positions={1: [3]}))
+        assert agg.candidates() == set()
+
+    def test_required_groups_threshold(self):
+        plan = make_plan(sites=1, groups=2, alignments=(0,), required=2)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=0, site=0, positions={0: [1]}))
+        assert agg.candidates() == set()  # only 1 of 2 groups
+        agg.add(SiteHit(rid=1, group=1, site=0, positions={0: [7]}))
+        assert agg.candidates() == {1}
+
+    def test_or_rule(self):
+        plan = make_plan(sites=1, groups=2, alignments=(0,), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=5, group=1, site=0, positions={0: [0]}))
+        assert agg.candidates() == {5}
+
+    def test_multiple_rids_independent(self):
+        plan = make_plan(sites=1, groups=1, alignments=(0,), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=0, site=0, positions={0: [0]}))
+        agg.add(SiteHit(rid=2, group=0, site=0, positions={0: [1]}))
+        assert agg.candidates() == {1, 2}
+
+    def test_group_hits_diagnostics(self):
+        plan = make_plan(sites=1, groups=2, alignments=(0,), required=1)
+        agg = HitAggregator(plan)
+        agg.add(SiteHit(rid=1, group=1, site=0, positions={0: [0]}))
+        assert agg.group_hits(1) == [1]
+        assert agg.group_hits(99) == []

@@ -1,0 +1,81 @@
+"""The §2.3 short-string kludge."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EncryptedSearchableStore, SchemeParameters
+
+RECORDS = {
+    1: "YU MING",
+    2: "WU KEVIN",
+    3: "YUEN PETER",
+    4: "LAYU THOMAS",
+    5: "NGUYEN ANH",
+}
+
+
+@pytest.fixture(scope="module")
+def store():
+    store = EncryptedSearchableStore(SchemeParameters.full(4))
+    for rid, text in RECORDS.items():
+        store.put(rid, text)
+    return store
+
+
+class TestSearchShort:
+    def test_finds_all_occurrences(self, store):
+        """'YU' occurs in YU, YUEN and LAYU — all must surface."""
+        result = store.search_short("YU")
+        assert result.matches == frozenset({1, 3, 4})
+
+    def test_record_final_occurrence_found(self):
+        store = EncryptedSearchableStore(SchemeParameters.full(4))
+        store.put(9, "THOMAS YU")  # 'YU' right before the terminator
+        assert 9 in store.search_short("YU").matches
+
+    def test_three_symbol_pattern(self, store):
+        result = store.search_short("MIN")
+        assert result.matches == frozenset({1})
+
+    def test_full_length_pattern_delegates(self, store):
+        normal = store.search("YUEN")
+        short = store.search_short("YUEN")
+        assert short.matches == normal.matches
+        assert short.cost.messages == pytest.approx(
+            normal.cost.messages, abs=normal.cost.messages
+        )
+
+    def test_wastefulness_is_measurable(self, store):
+        """The paper's caveat: the kludge is expensive on the wire.
+
+        Batching keeps the message count flat (one scan round), but
+        the needle payload fans out with the alphabet — the byte
+        counter shows the waste, and its size alone tells a snooper
+        the query was short (the paper's security caveat)."""
+        short = store.search_short("YU")
+        normal = store.search("YUEN")
+        assert short.cost.bytes > 50 * normal.cost.bytes
+
+    def test_no_match(self, store):
+        assert store.search_short("QX").matches == frozenset()
+
+
+NAMES = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ ", min_size=4,
+                max_size=16)
+
+
+@settings(max_examples=8)
+@given(st.lists(NAMES, min_size=1, max_size=4, unique=True), st.data())
+def test_property_short_search_recall(texts, data):
+    store = EncryptedSearchableStore(SchemeParameters.full(4))
+    for rid, text in enumerate(texts):
+        store.put(rid, text)
+    rid = data.draw(st.integers(0, len(texts) - 1))
+    text = texts[rid]
+    start = data.draw(st.integers(0, len(text) - 2))
+    pattern = text[start:start + 2]
+    result = store.search_short(pattern)
+    expected = {r for r, t in enumerate(texts) if pattern in t}
+    assert expected <= result.matches
+    assert result.matches == expected

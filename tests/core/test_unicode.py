@@ -1,0 +1,161 @@
+"""16-bit symbol support — the paper's 'typically either 8-bit ASCII
+symbols or 16-bit Unicode symbols'."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    EncryptedSearchableStore,
+    FrequencyEncoder,
+    SchemeParameters,
+)
+from repro.core.chunking import query_series, record_chunks
+
+RECORDS = {
+    1: "SCHWÄRZ THOMAS",
+    2: "Γιώργος Παπαδόπουλος",
+    3: "北京市 朝阳区",
+    4: "ŁITWIN WITOLD",
+    5: "ŁUKASZ ŁITWINOWICZ",
+}
+
+
+def utf16(text: str) -> bytes:
+    return text.encode("utf-16-be")
+
+
+class TestWideChunking:
+    def test_boundaries_respect_symbols(self):
+        chunks = record_chunks(utf16("ABCD"), 2, 0, symbol_width=2)
+        assert chunks == [utf16("AB"), utf16("CD")]
+
+    def test_offset_pads_whole_symbols(self):
+        chunks = record_chunks(utf16("ABCD"), 2, 1, symbol_width=2)
+        assert chunks[0] == b"\x00\x00" + utf16("A")
+        assert chunks[1] == utf16("BC")
+        assert chunks[2] == utf16("D") + b"\x00\x00"
+
+    def test_never_splits_a_code_unit(self):
+        text = utf16("北京市朝阳区")
+        for offset in range(3):
+            for chunk in record_chunks(text, 3, offset, symbol_width=2):
+                assert len(chunk) % 2 == 0
+
+    def test_ragged_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            record_chunks(b"\x00A\x00", 2, 0, symbol_width=2)
+
+    def test_query_series_symbol_aligned(self):
+        series = query_series(utf16("ABCDE"), 2, 1, symbol_width=2)
+        assert series == [utf16("BC"), utf16("DE")]
+
+    def test_query_series_ragged_rejected(self):
+        with pytest.raises(ConfigurationError):
+            query_series(b"\x00A\x00", 2, 0, symbol_width=2)
+
+
+class TestWideConfig:
+    def test_chunk_bits_scale_with_width(self):
+        narrow = SchemeParameters.full(4)
+        wide = SchemeParameters.full(4, symbol_width=2)
+        assert wide.chunk_bits == 2 * narrow.chunk_bits
+        assert wide.chunk_bytes == 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            SchemeParameters.full(4, symbol_width=3)
+
+    def test_serialization_roundtrip(self):
+        from repro.core.serialization import (
+            params_from_dict,
+            params_to_dict,
+        )
+        p = SchemeParameters.full(4, symbol_width=2)
+        assert params_from_dict(params_to_dict(p)) == p
+
+
+@pytest.fixture(scope="module")
+def wide_store():
+    store = EncryptedSearchableStore(
+        SchemeParameters.full(3, symbol_width=2)
+    )
+    for rid, text in RECORDS.items():
+        store.put(rid, text)
+    return store
+
+
+class TestUnicodeStore:
+    def test_roundtrip(self, wide_store):
+        for rid, text in RECORDS.items():
+            assert wide_store.get(rid) == text
+
+    def test_search_greek(self, wide_store):
+        assert wide_store.search("Παπαδόπουλος").matches == \
+            frozenset({2})
+
+    def test_search_cjk(self, wide_store):
+        assert wide_store.search("朝阳区").matches == frozenset({3})
+
+    def test_search_latin_extended(self, wide_store):
+        result = wide_store.search("ŁITWIN")
+        assert result.matches == frozenset({4, 5})
+
+    def test_search_umlaut(self, wide_store):
+        assert wide_store.search("SCHWÄRZ").matches == frozenset({1})
+
+    def test_no_cross_width_false_hits(self, wide_store):
+        assert wide_store.search("XYZ").matches == frozenset()
+
+    def test_zero_byte_code_units_survive(self):
+        """U+0100 ends in a 0x00 byte; content decoding must not eat
+        it as a terminator."""
+        store = EncryptedSearchableStore(
+            SchemeParameters.full(3, symbol_width=2)
+        )
+        text = "ĀĂĄ"  # U+0100, U+0102, U+0104 — all low bytes vary
+        tricky = "AĀ"  # ends with U+0100: trailing byte is 0x00
+        store.put(9, tricky)
+        assert store.get(9) == tricky
+        store.put(10, text)
+        assert store.get(10) == text
+
+    def test_anchored_unicode(self, wide_store):
+        result = wide_store.search("Γιώργος", anchor_start=True)
+        assert result.matches == frozenset({2})
+
+    def test_stage2_with_wide_symbols(self):
+        params = SchemeParameters.full(2, n_codes=64, symbol_width=2)
+        corpus = [utf16(t) for t in RECORDS.values()]
+        encoder = FrequencyEncoder.train(corpus, 4, 64)  # 4 bytes/chunk
+        store = EncryptedSearchableStore(params, encoder=encoder)
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        assert 3 in store.search("朝阳区").matches
+
+
+NAME_ALPHABET = "ΑΒΓΔΕΖΗΘΛΜΝΞΠΡΣΤΥΦΧΨΩ京北市东 "
+
+
+@settings(max_examples=10)
+@given(
+    st.lists(
+        st.text(alphabet=NAME_ALPHABET, min_size=5, max_size=14),
+        min_size=1, max_size=5, unique=True,
+    ),
+    st.data(),
+)
+def test_property_unicode_recall(texts, data):
+    store = EncryptedSearchableStore(
+        SchemeParameters.full(3, symbol_width=2)
+    )
+    for rid, text in enumerate(texts):
+        store.put(rid, text)
+    rid = data.draw(st.integers(0, len(texts) - 1))
+    text = texts[rid]
+    start = data.draw(st.integers(0, len(text) - 3))
+    length = data.draw(st.integers(3, len(text) - start))
+    pattern = text[start:start + length]
+    expected = {r for r, t in enumerate(texts) if pattern in t}
+    assert expected <= store.search(pattern).matches

@@ -1,0 +1,94 @@
+"""The SWP word-search store (the paper's §8 adaptation)."""
+
+import pytest
+
+from repro.core.wordsearch import EncryptedWordStore, tokenize
+
+KEY = b"wordsearch-test"
+
+RECORDS = {
+    1: "415-409-9999 SCHWARZ THOMAS",
+    2: "415-409-1234 LITWIN WITOLD",
+    3: "415-409-5678 SCHWARZ PETER & THOMAS",
+}
+
+
+@pytest.fixture
+def store():
+    store = EncryptedWordStore(KEY)
+    for rid, text in RECORDS.items():
+        store.put(rid, text)
+    return store
+
+
+class TestTokenize:
+    def test_words_and_numbers(self):
+        assert tokenize("415-409-9999 SCHWARZ & T") == [
+            "415-409-9999", "SCHWARZ", "&", "T",
+        ]
+
+    def test_hyphenated_number_is_one_token(self):
+        assert tokenize("415-409-9999") == ["415-409-9999"]
+
+
+class TestStore:
+    def test_get_roundtrip(self, store):
+        assert store.get(1) == RECORDS[1]
+        assert store.get(99) is None
+
+    def test_word_search(self, store):
+        result = store.search("SCHWARZ")
+        assert result.matches == frozenset({1, 3})
+
+    def test_positions_reported(self, store):
+        result = store.search("THOMAS")
+        assert result.positions[1] == (2,)
+        assert result.positions[3] == (4,)
+
+    def test_no_substring_search(self, store):
+        assert store.search("SCHWAR").matches == frozenset()
+
+    def test_absent_word(self, store):
+        assert store.search("NOBODY").matches == frozenset()
+
+    def test_repeated_word_positions(self, store):
+        store.put(4, "YU YU HAKUSHO YU")
+        result = store.search("YU")
+        assert result.positions[4] == (0, 1, 3)
+
+    def test_delete(self, store):
+        assert store.delete(1)
+        assert store.search("LITWIN").matches == frozenset({2})
+        assert store.search("THOMAS").matches == frozenset({3})
+        assert not store.delete(1)
+
+    def test_len(self, store):
+        assert len(store) == 3
+
+    def test_cost_accounting(self, store):
+        result = store.search("SCHWARZ")
+        assert result.cost.messages > 0
+
+    def test_index_cells_leak_no_plaintext(self, store):
+        for record in store.index_file.all_records():
+            assert b"SCHWARZ" not in record.content
+            assert b"THOMAS" not in record.content
+
+    def test_owner_can_decrypt_index(self, store):
+        assert store.decrypt_index_of(1) == [
+            "415-409-9999", "SCHWARZ", "THOMAS"
+        ]
+
+    def test_decrypt_index_missing(self, store):
+        with pytest.raises(KeyError):
+            store.decrypt_index_of(404)
+
+    def test_key_separation(self):
+        a = EncryptedWordStore(b"key-a")
+        a.put(1, "SECRET WORD")
+        b = EncryptedWordStore(b"key-b")
+        b.put(1, "SECRET WORD")
+        # b's trapdoors do not match a's cells.
+        cell_a = a.index_file.lookup(1)[:16]
+        from repro.crypto.swp import SwpCipher
+        assert not SwpCipher.match(cell_a, b._swp.trapdoor("SECRET"))

@@ -1,0 +1,48 @@
+"""Key hierarchy derivation."""
+
+import pytest
+
+from repro.crypto.keys import KeyHierarchy
+
+
+class TestKeyHierarchy:
+    def test_determinism(self):
+        a = KeyHierarchy(b"master")
+        b = KeyHierarchy(b"master")
+        assert a.record_store_key() == b.record_store_key()
+        assert a.chunking_key(3) == b.chunking_key(3)
+        assert a.record_nonce(42) == b.record_nonce(42)
+
+    def test_master_separation(self):
+        a = KeyHierarchy(b"master-1")
+        b = KeyHierarchy(b"master-2")
+        assert a.record_store_key() != b.record_store_key()
+
+    def test_label_separation(self):
+        kh = KeyHierarchy(b"master")
+        keys = {
+            kh.record_store_key(),
+            kh.chunking_key(0),
+            kh.chunking_key(1),
+            kh.subkey("other"),
+        }
+        assert len(keys) == 4
+
+    def test_nonce_length_and_uniqueness(self):
+        kh = KeyHierarchy(b"master")
+        nonces = {kh.record_nonce(r) for r in range(100)}
+        assert len(nonces) == 100
+        assert all(len(n) == 8 for n in nonces)
+
+    def test_key_length_options(self):
+        assert len(KeyHierarchy(b"m", key_length=32).record_store_key()) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyHierarchy(b"")
+        with pytest.raises(ValueError):
+            KeyHierarchy(b"m", key_length=17)
+        with pytest.raises(ValueError):
+            KeyHierarchy(b"m").chunking_key(-1)
+        with pytest.raises(ValueError):
+            KeyHierarchy(b"m").record_nonce(-5)

@@ -1,0 +1,114 @@
+"""HMAC (RFC 4231 vectors), HKDF and the integer PRF."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.prf import hkdf_derive, hmac_sha256, prf_int
+
+
+class TestHmacVectors:
+    def test_rfc4231_case_1(self):
+        mac = hmac_sha256(b"\x0b" * 20, b"Hi There")
+        assert mac == bytes.fromhex(
+            "b0344c61d8db38535ca8afceaf0bf12b"
+            "881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_rfc4231_case_2(self):
+        mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert mac == bytes.fromhex(
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_rfc4231_case_3(self):
+        mac = hmac_sha256(b"\xaa" * 20, b"\xdd" * 50)
+        assert mac == bytes.fromhex(
+            "773ea91e36800e46854db8ebd09181a7"
+            "2959098b3ef8c122d9635514ced565fe"
+        )
+
+    def test_long_key_is_hashed(self):
+        # Keys over the block size are pre-hashed (RFC 2104).
+        long_key = b"k" * 100
+        short_equivalent = hmac_sha256(long_key, b"msg")
+        assert len(short_equivalent) == 32
+
+
+class TestHkdfRfc5869:
+    def test_case_1(self):
+        """RFC 5869 appendix A.1 (SHA-256)."""
+        okm = hkdf_derive(
+            master=bytes.fromhex("0b" * 22),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+            length=42,
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+        )
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3(self):
+        """RFC 5869 appendix A.3: empty salt and info."""
+        okm = hkdf_derive(
+            master=bytes.fromhex("0b" * 22),
+            info=b"",
+            length=42,
+            salt=b"",
+        )
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestHkdf:
+    def test_deterministic(self):
+        assert hkdf_derive(b"m", b"ctx") == hkdf_derive(b"m", b"ctx")
+
+    def test_context_separation(self):
+        assert hkdf_derive(b"m", b"a") != hkdf_derive(b"m", b"b")
+
+    def test_master_separation(self):
+        assert hkdf_derive(b"m1", b"ctx") != hkdf_derive(b"m2", b"ctx")
+
+    @pytest.mark.parametrize("length", [1, 16, 32, 33, 64, 100])
+    def test_lengths(self, length):
+        out = hkdf_derive(b"m", b"ctx", length)
+        assert len(out) == length
+
+    def test_prefix_consistency(self):
+        """Longer derivations extend shorter ones (HKDF stream)."""
+        assert hkdf_derive(b"m", b"c", 16) == hkdf_derive(b"m", b"c", 48)[:16]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            hkdf_derive(b"m", b"c", 0)
+
+
+class TestPrfInt:
+    @pytest.mark.parametrize("bits", [1, 7, 8, 13, 64, 256, 300])
+    def test_range(self, bits):
+        for i in range(20):
+            v = prf_int(b"key", bytes([i]), bits)
+            assert 0 <= v < (1 << bits)
+
+    def test_deterministic(self):
+        assert prf_int(b"k", b"m", 32) == prf_int(b"k", b"m", 32)
+
+    def test_message_sensitivity(self):
+        assert prf_int(b"k", b"m1", 64) != prf_int(b"k", b"m2", 64)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            prf_int(b"k", b"m", 0)
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_property_hmac_is_function(key, msg):
+    assert hmac_sha256(key, msg) == hmac_sha256(key, msg)
+    assert len(hmac_sha256(key, msg)) == 32

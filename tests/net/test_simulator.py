@@ -1,0 +1,165 @@
+"""The discrete-event network core."""
+
+import pytest
+
+from repro.net import LatencyModel, Message, Network, Node
+
+
+class Echo(Node):
+    """Replies to every 'ping' with a 'pong'."""
+
+    def handle(self, message: Message) -> None:
+        if message.kind == "ping":
+            self.send(message.src, "pong", {"n": message.payload["n"]})
+
+
+class Collector(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received: list[Message] = []
+
+    def handle(self, message: Message) -> None:
+        self.received.append(message)
+
+
+class TestTopology:
+    def test_attach_and_contains(self):
+        net = Network()
+        net.attach(Collector("c"))
+        assert "c" in net
+
+    def test_duplicate_id_rejected(self):
+        net = Network()
+        net.attach(Collector("c"))
+        with pytest.raises(ValueError):
+            net.attach(Collector("c"))
+
+    def test_detach(self):
+        net = Network()
+        net.attach(Collector("c"))
+        net.detach("c")
+        assert "c" not in net
+
+    def test_send_to_unknown_node(self):
+        net = Network()
+        with pytest.raises(KeyError):
+            net.send("a", "b", "kind")
+
+    def test_unattached_node_cannot_send(self):
+        node = Collector("orphan")
+        with pytest.raises(RuntimeError):
+            node.send("x", "kind")
+
+
+class TestDelivery:
+    def test_request_reply(self):
+        net = Network()
+        net.attach(Echo("echo"))
+        client = net.attach(Collector("client"))
+        net.send("client", "echo", "ping", {"n": 1})
+        delivered = net.run()
+        assert delivered == 2
+        assert client.received[0].kind == "pong"
+        assert client.received[0].payload["n"] == 1
+
+    def test_fifo_between_same_pair_same_size(self):
+        net = Network()
+        sink = net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        for n in range(10):
+            net.send("src", "sink", "data", {"n": n})
+        net.run()
+        assert [m.payload["n"] for m in sink.received] == list(range(10))
+
+    def test_pairwise_fifo_despite_sizes(self):
+        """TCP semantics: messages on one (src, dst) link never
+        reorder, even when a later message is much smaller."""
+        net = Network(LatencyModel(fixed=0.0, bandwidth_bytes_per_s=1000))
+        sink = net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        net.send("src", "sink", "big", size=10_000)
+        net.send("src", "sink", "small", size=1)
+        net.run()
+        assert [m.kind for m in sink.received] == ["big", "small"]
+
+    def test_cross_link_overtaking(self):
+        """Messages from different sources are free to overtake."""
+        net = Network(LatencyModel(fixed=0.0, bandwidth_bytes_per_s=1000))
+        sink = net.attach(Collector("sink"))
+        net.attach(Collector("slow-src"))
+        net.attach(Collector("fast-src"))
+        net.send("slow-src", "sink", "big", size=10_000)
+        net.send("fast-src", "sink", "small", size=1)
+        net.run()
+        assert [m.kind for m in sink.received] == ["small", "big"]
+
+    def test_clock_advances(self):
+        net = Network()
+        net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        net.send("src", "sink", "data", size=128)
+        net.run()
+        assert net.now > 0
+
+    def test_run_event_cap(self):
+        class Bouncer(Node):
+            def handle(self, message):
+                self.send(self.node_id, "loop")
+
+        net = Network()
+        net.attach(Bouncer("b"))
+        net.send("b", "b", "loop")
+        with pytest.raises(RuntimeError):
+            net.run(max_events=100)
+
+    def test_reset_clock(self):
+        net = Network()
+        net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        net.send("src", "sink", "x")
+        net.run()
+        net.reset_clock()
+        assert net.now == 0.0
+
+    def test_reset_clock_with_inflight_rejected(self):
+        net = Network()
+        net.attach(Collector("sink"))
+        net.send("sink", "sink", "x")
+        with pytest.raises(RuntimeError):
+            net.reset_clock()
+
+
+class TestStats:
+    def test_counters(self):
+        net = Network()
+        net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        net.send("src", "sink", "a", size=100)
+        net.send("src", "sink", "b", size=50)
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 150
+        assert net.stats.by_kind["a"] == 1
+
+    def test_snapshot_delta(self):
+        net = Network()
+        net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        net.send("src", "sink", "a", size=10)
+        before = net.stats.snapshot()
+        net.send("src", "sink", "a", size=30)
+        delta = net.stats.delta(before)
+        assert delta.messages == 1
+        assert delta.bytes == 30
+
+    def test_reset(self):
+        net = Network()
+        net.attach(Collector("sink"))
+        net.send("sink", "sink", "x")
+        net.stats.reset()
+        assert net.stats.messages == 0
+
+
+class TestLatencyModel:
+    def test_formula(self):
+        model = LatencyModel(fixed=0.001, bandwidth_bytes_per_s=1000)
+        assert model.latency(500) == pytest.approx(0.501)

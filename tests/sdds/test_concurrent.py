@@ -1,0 +1,86 @@
+"""Concurrent multi-client batches: interleaved ops, splits in flight."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import JitterLatencyModel, Network
+from repro.sdds import LHStarFile
+
+
+class TestConcurrentBatches:
+    def test_concurrent_inserts_land(self):
+        file = LHStarFile(bucket_capacity=3)
+        ops = [("insert", k, b"v%d\x00" % k) for k in range(100)]
+        file.run_concurrent(ops, concurrency=8)
+        for k in range(100):
+            assert file.lookup(k) == b"v%d\x00" % k
+
+    def test_mixed_batch_results_in_order(self):
+        file = LHStarFile(bucket_capacity=4)
+        for k in range(50):
+            file.insert(k, b"old\x00")
+        ops = (
+            [("lookup", k) for k in range(10)]
+            + [("delete", k) for k in range(10, 20)]
+            + [("insert", k, b"new\x00") for k in range(100, 110)]
+        )
+        results = file.run_concurrent(ops, concurrency=6)
+        assert results[:10] == [b"old\x00"] * 10
+        assert results[10:20] == [True] * 10
+        assert results[20:] == [None] * 10
+
+    def test_lookups_concurrent_with_split_storm(self):
+        """Inserts forcing splits interleave with lookups of existing
+        keys; every lookup must still resolve correctly."""
+        file = LHStarFile(bucket_capacity=2)
+        for k in range(40):
+            file.insert(k, b"stable\x00")
+        ops = []
+        for k in range(40):
+            ops.append(("insert", 1000 + k, b"x\x00"))
+            ops.append(("lookup", k))
+        results = file.run_concurrent(ops, concurrency=8)
+        lookups = results[1::2]
+        assert lookups == [b"stable\x00"] * 40
+
+    def test_under_jitter(self):
+        file = LHStarFile(
+            network=Network(JitterLatencyModel(seed=3, jitter=0.05)),
+            bucket_capacity=2,
+        )
+        for k in range(30):
+            file.insert(k, b"s\x00")
+        ops = [("lookup", k) for k in range(30)] + [
+            ("insert", 500 + k, b"n\x00") for k in range(30)
+        ]
+        results = file.run_concurrent(ops, concurrency=5)
+        assert results[:30] == [b"s\x00"] * 30
+
+    def test_validation(self):
+        file = LHStarFile()
+        with pytest.raises(ValueError):
+            file.run_concurrent([("lookup", 1)], concurrency=0)
+        with pytest.raises(ValueError):
+            file.run_concurrent([("bogus", 1)])
+
+
+@settings(max_examples=10)
+@given(
+    st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True),
+    st.integers(1, 8),
+)
+def test_property_concurrent_equals_serial(keys, concurrency):
+    """A concurrent insert batch produces the same file contents as
+    serial insertion (order-independence of disjoint keys)."""
+    serial = LHStarFile(name="serial", bucket_capacity=3)
+    for key in keys:
+        serial.insert(key, str(key).encode())
+    concurrent = LHStarFile(name="concurrent", bucket_capacity=3)
+    concurrent.run_concurrent(
+        [("insert", key, str(key).encode()) for key in keys],
+        concurrency=concurrency,
+    )
+    for key in keys:
+        assert concurrent.lookup(key) == serial.lookup(key)
+    assert concurrent.record_count == serial.record_count

@@ -1,0 +1,159 @@
+"""The LH* addressing calculus and its two central guarantees."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sdds.hashing import (
+    bucket_level,
+    client_address,
+    file_buckets,
+    forward_address,
+    h,
+    image_adjust,
+    scan_initial_level,
+)
+
+
+def _true_address(key: int, i: int, n: int) -> int:
+    """Ground truth: where a key lives in file state (i, n)."""
+    address = h(key, i)
+    if address < n:
+        address = h(key, i + 1)
+    return address
+
+
+@st.composite
+def file_states(draw):
+    i = draw(st.integers(0, 8))
+    n = draw(st.integers(0, max(0, (1 << i) - 1)))
+    return i, n
+
+
+@st.composite
+def state_and_stale_image(draw):
+    """A real state and any image that was accurate at some past state."""
+    i, n = draw(file_states())
+    # A past state (i', n') <= (i, n) in file-growth order.
+    i_img = draw(st.integers(0, i))
+    if i_img == i:
+        n_img = draw(st.integers(0, n))
+    else:
+        n_img = draw(st.integers(0, (1 << i_img) - 1)) if i_img else 0
+    return (i, n), (i_img, n_img)
+
+
+class TestBasics:
+    def test_h(self):
+        assert h(13, 3) == 5
+        assert h(13, 0) == 0
+
+    def test_h_negative_level(self):
+        with pytest.raises(ValueError):
+            h(1, -1)
+
+    def test_file_buckets(self):
+        assert file_buckets(3, 5) == 13
+
+    def test_bucket_level(self):
+        # state (2, 1): buckets 0 and 4 are at level 3, 1..3 at level 2.
+        assert bucket_level(0, 2, 1) == 3
+        assert bucket_level(1, 2, 1) == 2
+        assert bucket_level(3, 2, 1) == 2
+        assert bucket_level(4, 2, 1) == 3
+
+    def test_bucket_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            bucket_level(5, 2, 1)
+
+    def test_client_address_matches_truth_when_accurate(self):
+        for key in range(200):
+            assert client_address(key, 3, 2) == _true_address(key, 3, 2)
+
+
+class TestForwarding:
+    @given(state_and_stale_image(), st.integers(0, 2 ** 20))
+    def test_at_most_two_hops(self, states, key):
+        """The LNS96 theorem: any once-accurate image needs <= 2
+        forwarding hops to reach the correct bucket."""
+        (i, n), (i_img, n_img) = states
+        address = client_address(key, i_img, n_img)
+        hops = 0
+        while True:
+            level = bucket_level(address, i, n)
+            target = forward_address(key, address, level)
+            if target is None:
+                break
+            address = target
+            hops += 1
+            assert hops <= 2, (
+                f"key {key} took {hops} hops from image "
+                f"({i_img},{n_img}) in state ({i},{n})"
+            )
+        assert address == _true_address(key, i, n)
+
+    @given(state_and_stale_image(), st.integers(0, 2 ** 20))
+    def test_forwarding_targets_exist(self, states, key):
+        """Forwarding never addresses a bucket beyond the file."""
+        (i, n), (i_img, n_img) = states
+        address = client_address(key, i_img, n_img)
+        for __ in range(3):
+            assert address < file_buckets(i, n)
+            level = bucket_level(address, i, n)
+            target = forward_address(key, address, level)
+            if target is None:
+                return
+            address = target
+
+    def test_correct_address_not_forwarded(self):
+        for key in range(100):
+            address = _true_address(key, 3, 4)
+            level = bucket_level(address, 3, 4)
+            assert forward_address(key, address, level) is None
+
+
+class TestImageAdjust:
+    def test_no_change_when_level_not_newer(self):
+        assert image_adjust(3, 2, 1, 3) == (3, 2)
+
+    def test_basic_update(self):
+        # IAM from bucket 0 at level 2: image becomes (1, 1).
+        assert image_adjust(0, 0, 0, 2) == (1, 1)
+
+    def test_wraparound(self):
+        # IAM from bucket 1 at level 2: n' = 2 >= 2^1, folds to (2, 0).
+        assert image_adjust(0, 0, 1, 2) == (2, 0)
+
+    @given(state_and_stale_image(), st.integers(0, 2 ** 20))
+    def test_image_never_overtakes_file(self, states, key):
+        """After an IAM from the *first forwarder*, the image still
+        describes no more buckets than the file has."""
+        (i, n), (i_img, n_img) = states
+        address = client_address(key, i_img, n_img)
+        level = bucket_level(address, i, n)
+        if forward_address(key, address, level) is None:
+            return  # no forwarding, no IAM
+        new_i, new_n = image_adjust(i_img, n_img, address, level)
+        assert file_buckets(new_i, new_n) <= file_buckets(i, n)
+
+    @given(state_and_stale_image(), st.integers(0, 2 ** 20))
+    def test_image_monotone(self, states, key):
+        """IAMs (sent only on forwarding) never shrink the image."""
+        (i, n), (i_img, n_img) = states
+        address = client_address(key, i_img, n_img)
+        level = bucket_level(address, i, n)
+        if forward_address(key, address, level) is None:
+            return  # no forwarding -> no IAM in the protocol
+        new_i, new_n = image_adjust(i_img, n_img, address, level)
+        assert file_buckets(new_i, new_n) >= file_buckets(i_img, n_img)
+
+
+class TestScanLevels:
+    @given(state_and_stale_image())
+    def test_presumed_level_never_exceeds_true_level(self, states):
+        """The scan-forwarding rule terminates because the image's
+        presumed level is a lower bound on the bucket's true level."""
+        (i, n), (i_img, n_img) = states
+        for address in range(file_buckets(i_img, n_img)):
+            presumed = scan_initial_level(address, i_img, n_img)
+            assert presumed <= bucket_level(address, i, n)

@@ -1,0 +1,87 @@
+"""Split policies: uncontrolled vs load-factor-controlled."""
+
+import pytest
+
+from repro.sdds import LHStarFile
+from repro.sdds.lhstar_rs import LHStarRSFile
+
+
+def fill(file, n=300):
+    for k in range(n):
+        file.insert(k, b"v\x00")
+    return file
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LHStarFile(split_policy="magic")
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LHStarFile(split_policy="load_factor",
+                       load_factor_threshold=0.0)
+
+    @staticmethod
+    def fill_skewed(file, n=120):
+        """All keys collide in the same bucket chain (hot spot)."""
+        for k in range(n):
+            file.insert(k * 64, b"v\x00")
+        return file
+
+    def test_controlled_uses_fewer_buckets_on_hot_spots(self):
+        """The policy's point: a single hot bucket must not force the
+        whole file to double (uncontrolled splits do exactly that)."""
+        uncontrolled = self.fill_skewed(LHStarFile(bucket_capacity=4))
+        controlled = self.fill_skewed(
+            LHStarFile(bucket_capacity=4, split_policy="load_factor",
+                       load_factor_threshold=0.7)
+        )
+        assert controlled.bucket_count < uncontrolled.bucket_count
+        # Both remain correct.
+        for k in range(120):
+            assert controlled.lookup(k * 64) == b"v\x00"
+            assert uncontrolled.lookup(k * 64) == b"v\x00"
+
+    def test_controlled_runs_hotter(self):
+        uncontrolled = self.fill_skewed(LHStarFile(bucket_capacity=4))
+        controlled = self.fill_skewed(
+            LHStarFile(bucket_capacity=4, split_policy="load_factor",
+                       load_factor_threshold=0.7)
+        )
+
+        def load(file):
+            return file.record_count / (
+                file.bucket_count * file.bucket_capacity
+            )
+
+        assert load(controlled) > load(uncontrolled)
+
+    def test_controlled_correctness_preserved(self):
+        file = fill(
+            LHStarFile(bucket_capacity=4, split_policy="load_factor"),
+            n=400,
+        )
+        for k in range(400):
+            assert file.lookup(k) == b"v\x00"
+        for address, bucket in file.buckets.items():
+            for rid in bucket.records:
+                assert rid & ((1 << bucket.level) - 1) == address
+
+    def test_scan_still_complete(self):
+        file = fill(
+            LHStarFile(bucket_capacity=4, split_policy="load_factor"),
+            n=200,
+        )
+        hits = file.scan(lambda r: r.rid)
+        assert sorted(hits) == list(range(200))
+
+    def test_rs_file_accepts_policy(self):
+        file = LHStarRSFile(
+            bucket_capacity=4, group_size=4, parity_count=2,
+            split_policy="load_factor",
+        )
+        fill(file, n=120)
+        assert file.split_policy == "load_factor"
+        for address in list(file.buckets)[:3]:
+            assert file.verify_recovery([address])

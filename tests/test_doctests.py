@@ -1,0 +1,31 @@
+"""Collect every doctest in the library as part of the suite.
+
+Module docstrings carry executable examples; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = [repro.__name__]
+    for module in pkgutil.walk_packages(repro.__path__,
+                                        prefix="repro."):
+        if module.name.endswith("__main__"):
+            continue
+        names.append(module.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

@@ -1,0 +1,118 @@
+"""A full-lifecycle soak test: one deployment through every feature.
+
+Populate (bulk), search (plain / anchored / conjunctive / batch),
+mutate (delete, update), rotate keys, persist and restore, all on one
+high-availability deployment under jittered latency — the closest the
+suite comes to a production storyline.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    EncryptedSearchableStore,
+    FrequencyEncoder,
+    SchemeParameters,
+)
+from repro.core.serialization import store_from_json, store_to_json
+from repro.data import generate_directory
+from repro.net import JitterLatencyModel, Network
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    directory = generate_directory(3000, seed=2006).sample(150, seed=21)
+    corpus = [e.name.encode("ascii") for e in directory]
+    params = SchemeParameters.full(
+        4, n_codes=64, dispersal=2, master_key=b"soak-test-key"
+    )
+    store = EncryptedSearchableStore(
+        params,
+        encoder=FrequencyEncoder.train(corpus, 4, 64),
+        network=Network(JitterLatencyModel(seed=5, jitter=0.02)),
+        high_availability=True,
+        bucket_capacity=16,
+    )
+    store.bulk_load({e.rid: e.record_text for e in directory})
+    return store, directory
+
+
+class TestLifecycle:
+    def test_bulk_load_complete(self, deployment):
+        store, directory = deployment
+        assert len(store) == len(directory)
+        entry = directory.entries[0]
+        assert store.get(entry.rid) == entry.record_text
+
+    def test_search_after_bulk_load(self, deployment):
+        store, directory = deployment
+        rng = random.Random(1)
+        for entry in rng.sample(directory.entries, 15):
+            query = entry.last_name
+            if len(query) < store.params.min_query_length:
+                continue
+            result = store.search(query)
+            truth = {
+                e.rid for e in directory if query in e.record_text
+            }
+            assert truth <= result.matches
+            assert result.matches == truth  # verified: exact
+
+    def test_batch_matches_singles(self, deployment):
+        store, directory = deployment
+        queries = sorted({
+            e.last_name for e in directory.entries[:30]
+            if len(e.last_name) >= store.params.min_query_length
+        })[:10]
+        batch = store.search_batch(queries)
+        for query in queries:
+            assert batch[query].matches == store.search(query).matches
+
+    def test_anchored_and_conjunctive(self, deployment):
+        store, directory = deployment
+        entry = max(directory.entries, key=lambda e: len(e.last_name))
+        prefix = entry.last_name
+        anchored = store.search(prefix, anchor_start=True)
+        assert all(
+            store.get(rid).startswith(prefix) for rid in anchored.matches
+        )
+        both = store.search_all([prefix, entry.phone[:8]])
+        assert entry.rid in both.matches
+
+    def test_update_and_delete(self, deployment):
+        store, directory = deployment
+        victim = next(
+            e for e in reversed(directory.entries)
+            if len(e.last_name) >= 6
+        )
+        store.put(victim.rid, "REPLACED CONTENT ZZZZ")
+        assert victim.rid in store.search("ZZZZ").matches
+        assert victim.rid not in store.search(victim.last_name).matches \
+            or victim.last_name in "REPLACED CONTENT ZZZZ"
+        assert store.delete(victim.rid)
+        assert store.get(victim.rid) is None
+        # Restore for later tests.
+        store.put(victim.rid, victim.record_text)
+
+    def test_availability(self, deployment):
+        store, __ = deployment
+        record_bucket = next(iter(store.record_file.buckets))
+        assert store.record_file.verify_recovery([record_bucket])
+        index_bucket = next(iter(store.index_file.buckets))
+        assert store.index_file.verify_recovery([index_bucket])
+
+    def test_persist_restore_rekey(self, deployment):
+        store, directory = deployment
+        restored = store_from_json(store_to_json(store))
+        probe = directory.entries[3]
+        assert restored.get(probe.rid) == store.get(probe.rid)
+        restored.rekey(b"rotated-soak-key")
+        if len(probe.last_name) >= restored.params.min_query_length:
+            assert probe.rid in restored.search(probe.last_name).matches
+
+    def test_cost_accounting_sane(self, deployment):
+        store, __ = deployment
+        result = store.search("MARTIN")
+        assert result.cost.messages >= 2
+        assert result.elapsed > 0

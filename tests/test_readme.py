@@ -1,0 +1,21 @@
+"""The README's code examples must actually run."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def test_readme_blocks_execute():
+    """Blocks build on each other, so run them cumulatively."""
+    blocks = _BLOCK_RE.findall(README.read_text())
+    assert blocks, "README lost its python examples"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        exec(  # noqa: S102 - executing our own documentation
+            compile(block, f"{README}#block{index}", "exec"), namespace
+        )
