@@ -36,16 +36,28 @@ from repro.core.index import IndexPipeline
 from repro.core.search import HitAggregator, SiteHit
 from repro.crypto.keys import KeyHierarchy
 from repro.crypto.modes import CtrCipher
+from repro.net.faults import RetryPolicy
 from repro.net.simulator import Network
 from repro.net.stats import NetworkStats
-from repro.sdds.lhstar import LHStarFile
+from repro.sdds.lhstar import DEFAULT_RETRY_POLICY, LHStarFile
 from repro.sdds.lhstar_rs import LHStarRSFile
 from repro.sdds.records import Record
 
 
 @dataclass(frozen=True)
 class SearchResult:
-    """Outcome of one content search."""
+    """Outcome of one content search.
+
+    ``cost`` is the *total* network cost of the query — the parallel
+    index-scan round **and** the candidate fetches of verification —
+    so every search entry point accounts the same way (``search``,
+    ``search_all`` and ``search_batch`` once disagreed on whether
+    verification was billed).  ``scan_cost``/``verify_cost`` break the
+    total down; for batched queries that share one scan round and one
+    verification pass, each per-pattern result reports the shared
+    totals.  Retransmissions and injected faults during the query show
+    up in the cost's ``retries``/``dropped``/``duplicated`` counters.
+    """
 
     pattern: str
     candidates: frozenset[int]
@@ -55,6 +67,12 @@ class SearchResult:
     #: simulated wall-clock seconds the whole query took (scan round
     #: + candidate fetches) under the network's latency model.
     elapsed: float = 0.0
+    #: the scan round's share of ``cost`` (None for composite results
+    #: that cannot split it).
+    scan_cost: NetworkStats | None = None
+    #: verification's share of ``cost`` (candidate fetch + decrypt);
+    #: zero-valued when ``verify=False``.
+    verify_cost: NetworkStats | None = None
 
     @property
     def precision(self) -> float:
@@ -79,6 +97,25 @@ class StorageFootprint:
         return self.index_bytes / self.record_bytes
 
 
+@dataclass
+class _BatchHit:
+    """One pattern's site hit inside a multiplexed scan reply.
+
+    ``wire_size`` bills the underlying :class:`SiteHit` plus a 2-byte
+    pattern-demultiplexing tag — but only when the round actually
+    ships several patterns.  A single-pattern batch carries no tag,
+    so its accounting is byte-identical to :meth:`search`.
+    """
+
+    index: int
+    hit: SiteHit
+    tagged: bool
+
+    @property
+    def wire_size(self) -> int:
+        return (2 if self.tagged else 0) + self.hit.wire_size
+
+
 class EncryptedSearchableStore:
     """The paper's complete scheme over simulated LH* files."""
 
@@ -90,6 +127,7 @@ class EncryptedSearchableStore:
         bucket_capacity: int = 128,
         high_availability: bool = False,
         name: str = "ess",
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
     ) -> None:
         self.params = params
         self.pipeline = IndexPipeline(params, encoder)
@@ -105,11 +143,13 @@ class EncryptedSearchableStore:
             name=f"{name}-store",
             network=self.network,
             bucket_capacity=bucket_capacity,
+            retry_policy=retry_policy,
         )
         self.index_file: LHStarFile = file_type(
             name=f"{name}-index",
             network=self.network,
             bucket_capacity=bucket_capacity,
+            retry_policy=retry_policy,
         )
         sites = params.dispersal
         groups = params.layout.group_count
@@ -284,14 +324,18 @@ class EncryptedSearchableStore:
         hits = self.index_file.scan(
             matcher, request_size=plan.request_size()
         )
+        after_scan = self.network.stats.snapshot()
         aggregator = HitAggregator(plan)
         aggregator.add_all(hits)
         candidates = aggregator.candidates()
         if anchor_start:
+            group, alignment, position = self._start_anchor(plan)
             candidates = {
                 rid
                 for rid in candidates
-                if 0 in aggregator.intersected_positions(rid, 0, 0)
+                if position in aggregator.intersected_positions(
+                    rid, group, alignment
+                )
             }
 
         if verify:
@@ -307,14 +351,42 @@ class EncryptedSearchableStore:
                 matches.add(rid)
         else:
             matches = set(candidates)
-        cost = self.network.stats.delta(before)
         return SearchResult(
             pattern=pattern,
             candidates=frozenset(candidates),
             matches=frozenset(matches),
             false_positives=frozenset(candidates - matches),
-            cost=cost,
+            cost=self.network.stats.delta(before),
             elapsed=self.network.now - started,
+            scan_cost=after_scan.delta(before),
+            verify_cost=self.network.stats.delta(after_scan),
+        )
+
+    def _start_anchor(self, plan) -> tuple[int, int, int]:
+        """The (group, alignment, chunk position) pinning a record-start
+        match, derived from the layout and the query plan.
+
+        A pattern occurrence at record position 0 lines up with the
+        chunking of offset ``o`` exactly at query alignment ``o``, and
+        its first complete chunk sits at stream position 0 — or 1 when
+        that chunking stores a padded partial head chunk before it.
+        Offset 0 is always stored and alignment 0 always populated, so
+        in practice this returns (0, 0, 0); the scan is kept general
+        so a future layout that breaks the assumption fails loudly
+        instead of silently filtering out every true match.
+        """
+        layout = self.params.layout
+        for group, offset in enumerate(layout.offsets):
+            if offset in plan.alignments:
+                position = (
+                    0 if offset == 0 or self.params.drop_partial_chunks
+                    else 1
+                )
+                return group, offset, position
+        raise ConfigurationError(
+            "layout cannot express a start anchor: no stored chunking "
+            f"offset in {layout.offsets} coincides with a populated "
+            f"query alignment in {plan.alignments}"
         )
 
     def search_all(
@@ -338,26 +410,31 @@ class EncryptedSearchableStore:
         before = self.network.stats.snapshot()
         started = self.network.now
 
+        tagged = len(plans) > 1
+
         def matcher(record: Record):
             rid, group, site = decode(record.rid)
             reports = []
             for index, plan in enumerate(plans):
                 positions = plan.match_site(group, site, record.content)
                 if positions:
-                    reports.append((index, SiteHit(
-                        rid=rid, group=group, site=site,
-                        positions=positions,
-                    )))
+                    reports.append(_BatchHit(
+                        index=index,
+                        hit=SiteHit(rid=rid, group=group, site=site,
+                                    positions=positions),
+                        tagged=tagged,
+                    ))
             return reports or None
 
         raw = self.index_file.scan(
             matcher,
             request_size=sum(plan.request_size() for plan in plans),
         )
+        after_scan = self.network.stats.snapshot()
         aggregators = [HitAggregator(plan) for plan in plans]
         for reports in raw:
-            for index, hit in reports:
-                aggregators[index].add(hit)
+            for report in reports:
+                aggregators[report.index].add(report.hit)
         candidates = set.intersection(
             *(aggregator.candidates() for aggregator in aggregators)
         )
@@ -370,14 +447,15 @@ class EncryptedSearchableStore:
             }
         else:
             matches = set(candidates)
-        cost = self.network.stats.delta(before)
         return SearchResult(
             pattern=" AND ".join(patterns),
             candidates=frozenset(candidates),
             matches=frozenset(matches),
             false_positives=frozenset(candidates - matches),
-            cost=cost,
+            cost=self.network.stats.delta(before),
             elapsed=self.network.now - started,
+            scan_cost=after_scan.delta(before),
+            verify_cost=self.network.stats.delta(after_scan),
         )
 
     def search_batch(
@@ -389,6 +467,14 @@ class EncryptedSearchableStore:
         Shipping all plans at once costs one round instead of one per
         query; results are per-pattern (unlike :meth:`search_all`,
         which intersects).
+
+        Cost accounting: the scan round and the verification fetches
+        are shared across patterns (each candidate record is fetched
+        once, however many patterns name it), so every per-pattern
+        result carries the *shared* totals — ``cost`` includes
+        verification, exactly like :meth:`search`, and for a
+        single-pattern batch the two entry points report identical
+        numbers.
         """
         if not patterns:
             raise ConfigurationError("need at least one pattern")
@@ -401,29 +487,32 @@ class EncryptedSearchableStore:
         before = self.network.stats.snapshot()
         started = self.network.now
 
+        tagged = len(plans) > 1
+
         def matcher(record: Record):
             rid, group, site = decode(record.rid)
             reports = []
             for index, plan in enumerate(plans):
                 positions = plan.match_site(group, site, record.content)
                 if positions:
-                    reports.append((index, SiteHit(
-                        rid=rid, group=group, site=site,
-                        positions=positions,
-                    )))
+                    reports.append(_BatchHit(
+                        index=index,
+                        hit=SiteHit(rid=rid, group=group, site=site,
+                                    positions=positions),
+                        tagged=tagged,
+                    ))
             return reports or None
 
         raw = self.index_file.scan(
             matcher,
             request_size=sum(plan.request_size() for plan in plans),
         )
+        after_scan = self.network.stats.snapshot()
         aggregators = [HitAggregator(plan) for plan in plans]
         for reports in raw:
-            for index, hit in reports:
-                aggregators[index].add(hit)
-        scan_cost = self.network.stats.delta(before)
-        scan_elapsed = self.network.now - started
-        results: dict[str, SearchResult] = {}
+            for report in reports:
+                aggregators[report.index].add(report.hit)
+        outcomes: list[tuple[str, set[int], set[int]]] = []
         text_cache: dict[int, str | None] = {}
         for pattern, aggregator in zip(unique, aggregators):
             candidates = aggregator.candidates()
@@ -437,15 +526,27 @@ class EncryptedSearchableStore:
                         matches.add(rid)
             else:
                 matches = set(candidates)
-            results[pattern] = SearchResult(
+            outcomes.append((pattern, candidates, matches))
+        # Snapshot once all shared work — scan round *and* candidate
+        # fetches — is done, so batch results account verification
+        # exactly like single-pattern search() does.
+        cost = self.network.stats.delta(before)
+        scan_cost = after_scan.delta(before)
+        verify_cost = self.network.stats.delta(after_scan)
+        elapsed = self.network.now - started
+        return {
+            pattern: SearchResult(
                 pattern=pattern,
                 candidates=frozenset(candidates),
                 matches=frozenset(matches),
                 false_positives=frozenset(candidates - matches),
-                cost=scan_cost,
-                elapsed=scan_elapsed,
+                cost=cost,
+                elapsed=elapsed,
+                scan_cost=scan_cost,
+                verify_cost=verify_cost,
             )
-        return results
+            for pattern, candidates, matches in outcomes
+        }
 
     # -- key rotation -----------------------------------------------------------
 
@@ -522,6 +623,7 @@ class EncryptedSearchableStore:
         # the terminator/padding — covered by the end-anchored query.
         anchored = self.search(pattern, anchor_end=True, verify=False)
         candidates |= anchored.candidates
+        after_scan = self.network.stats.snapshot()
         if verify:
             matches = {
                 rid
@@ -537,6 +639,8 @@ class EncryptedSearchableStore:
             false_positives=frozenset(candidates - matches),
             cost=self.network.stats.delta(before),
             elapsed=self.network.now - started,
+            scan_cost=after_scan.delta(before),
+            verify_cost=self.network.stats.delta(after_scan),
         )
 
     # -- planning / introspection -------------------------------------------------

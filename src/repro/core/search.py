@@ -92,6 +92,18 @@ class SiteHit:
     site: int
     positions: dict[int, list[int]] = field(default_factory=dict)
 
+    @property
+    def wire_size(self) -> int:
+        """Accounted encoded size of this hit on the simulated wire:
+        an 8-byte RID, one byte each for the group and site ids, and
+        per alignment a 2-byte tag plus 4 bytes per chunk position.
+        The scan-reply accounting in :mod:`repro.sdds.lhstar` bills
+        hits through this protocol."""
+        return 10 + sum(
+            2 + 4 * len(positions)
+            for positions in self.positions.values()
+        )
+
 
 class HitAggregator:
     """Client-side combination of site reports into candidate RIDs."""

@@ -15,20 +15,34 @@ bandwidth).
   breakdowns, reset/snapshot support for benchmarking.
 """
 
+from repro.net.faults import (
+    RELIABLE_KINDS,
+    FaultModel,
+    RetryExhaustedError,
+    RetryPolicy,
+    UnreliableNetwork,
+)
 from repro.net.simulator import (
     JitterLatencyModel,
     LatencyModel,
     Message,
     Network,
     Node,
+    Timer,
 )
 from repro.net.stats import NetworkStats
 
 __all__ = [
     "Network",
+    "UnreliableNetwork",
     "Node",
     "Message",
+    "Timer",
     "LatencyModel",
     "JitterLatencyModel",
     "NetworkStats",
+    "FaultModel",
+    "RetryPolicy",
+    "RetryExhaustedError",
+    "RELIABLE_KINDS",
 ]

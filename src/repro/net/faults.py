@@ -1,0 +1,167 @@
+"""Fault injection and recovery policy for the simulated network.
+
+The paper leans on LH*/LH*_RS for "high availability" over many
+storage sites (§5), but a simulator that delivers every message
+reliably never exercises any of the SDDS protocol's resilience
+machinery.  This module supplies the missing adversity:
+
+* :class:`FaultModel` — seeded, deterministic message loss and
+  duplication, plugged into :class:`~repro.net.simulator.Network`.
+  Structural server-to-server messages (bucket splits, record
+  shipments, parity deltas) are *reliable by default*: they model TCP
+  transfers whose retransmission happens below our abstraction, while
+  the client path (keyed operations, scans, replies, IAMs) is the
+  lossy datagram traffic the LH* client protocol must survive.
+* :class:`RetryPolicy` — per-operation timeout, exponential backoff
+  and a retry budget for :class:`~repro.sdds.lhstar.LHStarClient`.
+* :class:`UnreliableNetwork` — convenience ``Network`` subclass wiring
+  a fault model in.
+* :class:`RetryExhaustedError` — raised by the synchronous facades
+  when an operation's retry budget is spent without an answer.
+
+Determinism: the fault model draws from its own ``random.Random``
+seeded at construction, independent of any latency-model randomness,
+so a given (seed, workload) pair always drops and duplicates exactly
+the same messages.  With both rates at zero no behaviour changes at
+all — message counts and the simulated clock stay byte-identical to a
+plain reliable :class:`~repro.net.simulator.Network`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.simulator import LatencyModel, Network
+
+#: Message kinds exempt from injected faults by default: structural
+#: server-to-server transfers whose loss would violate assumptions the
+#: LH* papers make of the underlying transport (record shipments are
+#: TCP transfers, the coordinator is reliable).  The client datagram
+#: path — keyed ops, scans, replies, IAMs — is what gets lossy.
+RELIABLE_KINDS = frozenset({
+    "split",
+    "split_records",
+    "merge",
+    "merge_records",
+    "overflow",
+    "underflow",
+    "parity_delta",
+})
+
+
+class RetryExhaustedError(RuntimeError):
+    """An operation's retry budget ran out without a delivered answer."""
+
+
+class FaultModel:
+    """Seeded loss/duplication decisions for individual messages.
+
+    ``loss_rate`` and ``duplication_rate`` are independent per-message
+    probabilities in [0, 1].  A dropped message is charged to the
+    sender (it went onto the wire) but never delivered; a duplicated
+    message is delivered twice, the copy arriving after the original
+    (pairwise FIFO is preserved).  Kinds in ``reliable_kinds`` are
+    never dropped or duplicated.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        duplication_rate: float = 0.0,
+        reliable_kinds: frozenset[str] | None = None,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss rate must lie in [0, 1]")
+        if not 0.0 <= duplication_rate <= 1.0:
+            raise ValueError("duplication rate must lie in [0, 1]")
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.duplication_rate = duplication_rate
+        self.reliable_kinds = (
+            RELIABLE_KINDS if reliable_kinds is None
+            else frozenset(reliable_kinds)
+        )
+        self._rng = random.Random(seed)
+
+    def applies(self, kind: str) -> bool:
+        """Whether messages of ``kind`` are subject to faults."""
+        return kind not in self.reliable_kinds
+
+    def drops(self) -> bool:
+        """Decide the fate of the next eligible message."""
+        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    def duplicates(self) -> bool:
+        """Decide duplication for the next delivered eligible message."""
+        return (
+            self.duplication_rate > 0
+            and self._rng.random() < self.duplication_rate
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultModel(seed={self.seed}, loss_rate={self.loss_rate}, "
+            f"duplication_rate={self.duplication_rate})"
+        )
+
+
+class UnreliableNetwork(Network):
+    """A :class:`Network` with a seeded :class:`FaultModel` attached.
+
+    >>> net = UnreliableNetwork(seed=7, loss_rate=0.05,
+    ...                         duplication_rate=0.01)
+    >>> net.faults.loss_rate
+    0.05
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        duplication_rate: float = 0.0,
+        latency: LatencyModel | None = None,
+        reliable_kinds: frozenset[str] | None = None,
+    ) -> None:
+        super().__init__(
+            latency=latency,
+            faults=FaultModel(
+                seed=seed,
+                loss_rate=loss_rate,
+                duplication_rate=duplication_rate,
+                reliable_kinds=reliable_kinds,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry knobs for client-driven operations.
+
+    The first (re)transmission fires ``timeout`` simulated seconds
+    after the original send; each subsequent one waits ``backoff``
+    times longer.  After ``max_retries`` unanswered retransmissions
+    the operation fails with :class:`RetryExhaustedError`.
+
+    The default timeout is generous relative to the simulated LAN
+    round-trip (sub-millisecond, at most a few tens of milliseconds
+    under jitter), so on a reliable network timers are always
+    cancelled before firing and the policy is free.
+    """
+
+    timeout: float = 0.25
+    backoff: float = 2.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Wait before retransmission number ``attempt`` (1-based)."""
+        return self.timeout * self.backoff ** attempt

@@ -15,9 +15,12 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from repro.net.stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.faults import FaultModel
 
 
 @dataclass(frozen=True)
@@ -38,10 +41,12 @@ class LatencyModel:
 class JitterLatencyModel(LatencyModel):
     """A latency model with deterministic pseudo-random jitter.
 
-    Messages between the same pair can overtake each other, so
-    protocols are exercised under arbitrary (but reproducible)
-    reordering — the robustness tests run the whole LH* workload on
-    this model.
+    Messages on *different* links can overtake each other, so
+    protocols are exercised under reproducible cross-link reordering —
+    the robustness tests run the whole LH* workload on this model.
+    Messages on the same (src, dst) link never reorder:
+    :meth:`Network.send` enforces pairwise FIFO (TCP semantics),
+    whatever latencies this model draws.
     """
 
     def __init__(
@@ -84,6 +89,28 @@ class Message:
     arrival_time: float = 0.0
 
 
+class Timer:
+    """A pending virtual-clock callback (see :meth:`Network.schedule`).
+
+    Cancelled timers are discarded silently when the event loop
+    reaches them: they neither advance the clock nor count as events,
+    so a timer that is armed and cancelled leaves no trace in the
+    simulation — protocols can arm timeout timers unconditionally at
+    zero cost on the happy path.
+    """
+
+    __slots__ = ("when", "callback", "cancelled", "fired")
+
+    def __init__(self, when: float, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Node:
     """Base class for protocol actors.
 
@@ -117,8 +144,16 @@ class Node:
 class Network:
     """The event loop: attach nodes, send messages, run to quiescence."""
 
-    def __init__(self, latency: LatencyModel | None = None) -> None:
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        faults: "FaultModel | None" = None,
+    ) -> None:
         self.latency = latency or LatencyModel()
+        #: Optional fault injector (see :mod:`repro.net.faults`).
+        #: ``None`` — and a model with zero rates — means perfectly
+        #: reliable delivery, bit-identical to the historic behaviour.
+        self.faults = faults
         self.nodes: dict[Hashable, Node] = {}
         self.stats = NetworkStats()
         self.now = 0.0
@@ -143,6 +178,13 @@ class Network:
     def detach(self, node_id: Hashable) -> None:
         node = self.nodes.pop(node_id)
         node.network = None
+        # Purge per-link FIFO state: a detached node's links are gone,
+        # and a later re-attach under the same id must start fresh
+        # rather than inherit a stale FIFO floor.
+        for link in [
+            link for link in self._link_clock if node_id in link
+        ]:
+            del self._link_clock[link]
 
     def __contains__(self, node_id: Hashable) -> bool:
         return node_id in self.nodes
@@ -158,30 +200,76 @@ class Network:
         size: int = 64,
         hops: int = 0,
     ) -> Message:
-        """Enqueue a message; it is delivered when :meth:`run` reaches it."""
+        """Enqueue a message; it is delivered when :meth:`run` reaches it.
+
+        With a fault model attached, eligible messages may be dropped
+        (charged to the sender, never delivered) or duplicated (the
+        copy also hits the wire and arrives after the original).  The
+        returned message is the first delivered copy, or an
+        undeliverable husk (``arrival_time = inf``) when dropped.
+        """
         if dst not in self.nodes:
             raise KeyError(f"unknown destination node {dst!r}")
-        arrival = self.now + self.latency.latency(size)
-        link = (src, dst)
-        floor = self._link_clock.get(link)
-        if floor is not None and arrival <= floor:
-            arrival = floor + 1e-12
-        self._link_clock[link] = arrival
-        message = Message(
-            src=src,
-            dst=dst,
-            kind=kind,
-            payload=payload or {},
-            size=size,
-            hops=hops,
-            send_time=self.now,
-            arrival_time=arrival,
-        )
+        payload = payload or {}
         self.stats.record(kind, size)
+        copies = 1
+        faults = self.faults
+        if faults is not None and faults.applies(kind):
+            if faults.drops():
+                self.stats.dropped += 1
+                return Message(
+                    src=src, dst=dst, kind=kind, payload=payload,
+                    size=size, hops=hops, send_time=self.now,
+                    arrival_time=float("inf"),
+                )
+            if faults.duplicates():
+                copies = 2
+        first: Message | None = None
+        for copy in range(copies):
+            if copy:
+                self.stats.record(kind, size)
+                self.stats.duplicated += 1
+            arrival = self.now + self.latency.latency(size)
+            link = (src, dst)
+            floor = self._link_clock.get(link)
+            if floor is not None and arrival <= floor:
+                arrival = floor + 1e-12
+            self._link_clock[link] = arrival
+            message = Message(
+                src=src,
+                dst=dst,
+                kind=kind,
+                payload=payload,
+                size=size,
+                hops=hops,
+                send_time=self.now,
+                arrival_time=arrival,
+            )
+            heapq.heappush(
+                self._queue,
+                (message.arrival_time, next(self._sequence), message),
+            )
+            if first is None:
+                first = message
+        return first
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> Timer:
+        """Arm a virtual-clock timer ``delay`` seconds from now.
+
+        The callback runs inside :meth:`run`, interleaved in time
+        order with message deliveries — this is how nodes act without
+        an inbound message (client retransmission timeouts).  Returns
+        the :class:`Timer`; call :meth:`Timer.cancel` to disarm it.
+        """
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        timer = Timer(self.now + delay, callback)
         heapq.heappush(
-            self._queue, (message.arrival_time, next(self._sequence), message)
+            self._queue, (timer.when, next(self._sequence), timer)
         )
-        return message
+        return timer
 
     def run(self, max_events: int = 10_000_000) -> int:
         """Deliver queued messages (and any they trigger) in time order.
@@ -190,21 +278,39 @@ class Network:
         runaway-protocol guard.
         """
         delivered = 0
+        processed = 0
         while self._queue:
-            if delivered >= max_events:
+            if processed >= max_events:
                 raise RuntimeError(
                     f"network did not quiesce within {max_events} events"
                 )
-            arrival, __, message = heapq.heappop(self._queue)
+            arrival, __, item = heapq.heappop(self._queue)
+            if isinstance(item, Timer):
+                if item.cancelled:
+                    # Disarmed before firing: discard silently, without
+                    # advancing the clock — the happy path stays
+                    # bit-identical to a timerless run.
+                    continue
+                self.now = max(self.now, arrival)
+                item.fired = True
+                item.callback()
+                processed += 1
+                continue
             self.now = max(self.now, arrival)
-            self.nodes[message.dst].handle(message)
+            self.nodes[item.dst].handle(item)
             delivered += 1
+            processed += 1
         self.delivered += delivered
         return delivered
 
     def reset_clock(self) -> None:
         """Rewind the clock (between benchmark operations)."""
-        if self._queue:
+        live = [
+            entry for entry in self._queue
+            if not (isinstance(entry[2], Timer) and entry[2].cancelled)
+        ]
+        if live:
             raise RuntimeError("cannot reset the clock with messages "
                                "in flight")
+        self._queue.clear()
         self.now = 0.0

@@ -21,6 +21,15 @@ class NetworkStats:
     bytes: int = 0
     by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
+    #: Messages the fault model dropped (sent — and charged above —
+    #: but never delivered).
+    dropped: int = 0
+    #: Extra copies the fault model injected (each also counted in
+    #: ``messages``/``bytes``: the copy hit the wire too).
+    duplicated: int = 0
+    #: Client retransmissions after a timeout (each retransmitted
+    #: message is also counted in ``messages``/``bytes``).
+    retries: int = 0
 
     def record(self, kind: str, size: int) -> None:
         self.messages += 1
@@ -35,6 +44,9 @@ class NetworkStats:
             bytes=self.bytes,
             by_kind=Counter(self.by_kind),
             bytes_by_kind=Counter(self.bytes_by_kind),
+            dropped=self.dropped,
+            duplicated=self.duplicated,
+            retries=self.retries,
         )
 
     def delta(self, earlier: "NetworkStats") -> "NetworkStats":
@@ -44,6 +56,9 @@ class NetworkStats:
             bytes=self.bytes - earlier.bytes,
             by_kind=self.by_kind - earlier.by_kind,
             bytes_by_kind=self.bytes_by_kind - earlier.bytes_by_kind,
+            dropped=self.dropped - earlier.dropped,
+            duplicated=self.duplicated - earlier.duplicated,
+            retries=self.retries - earlier.retries,
         )
 
     def reset(self) -> None:
@@ -51,3 +66,6 @@ class NetworkStats:
         self.bytes = 0
         self.by_kind.clear()
         self.bytes_by_kind.clear()
+        self.dropped = 0
+        self.duplicated = 0
+        self.retries = 0

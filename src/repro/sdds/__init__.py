@@ -28,8 +28,9 @@ and index records in these files exactly as the paper prescribes
 is used to store index records and the records themselves").
 """
 
+from repro.net.faults import RetryExhaustedError, RetryPolicy
 from repro.sdds.hashing import client_address, forward_address, image_adjust
-from repro.sdds.lhstar import LHStarClient, LHStarFile
+from repro.sdds.lhstar import DEFAULT_RETRY_POLICY, LHStarClient, LHStarFile
 from repro.sdds.lhstar_rs import LHStarRSFile
 from repro.sdds.records import Record
 
@@ -41,4 +42,7 @@ __all__ = [
     "LHStarFile",
     "LHStarClient",
     "LHStarRSFile",
+    "RetryPolicy",
+    "RetryExhaustedError",
+    "DEFAULT_RETRY_POLICY",
 ]

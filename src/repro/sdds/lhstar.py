@@ -23,10 +23,13 @@ operation.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Hashable
 
-from repro.net.simulator import Message, Network, Node
+from repro.net.faults import RetryExhaustedError, RetryPolicy
+from repro.net.simulator import Message, Network, Node, Timer
 from repro.sdds.hashing import (
     client_address,
     forward_address,
@@ -38,7 +41,49 @@ from repro.sdds.records import RECORD_OVERHEAD, Record
 #: Accounted wire size of a request/control header.
 HEADER_SIZE = 32
 
+#: Default client retry policy: generous timeouts relative to the
+#: simulated LAN, so on a reliable network every timer is cancelled
+#: before firing and behaviour is identical to the retry-free past.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: Bucket-side idempotence caches (request id -> cached reply) are
+#: bounded LRU; old entries only matter while their operation can
+#: still be retransmitted, which the retry budget bounds tightly.
+DEDUP_CACHE_LIMIT = 4096
+
 ScanMatcher = Callable[[Record], Any]
+
+
+@dataclass
+class _PendingKeyed:
+    """Client-side retransmission state of one keyed operation."""
+
+    kind: str
+    key: int
+    content: bytes | None = None
+    attempt: int = 0
+    timer: Timer | None = None
+
+
+@dataclass
+class _ScanState:
+    """Client-side bookkeeping of one scan round.
+
+    ``expected`` maps every bucket address known to owe a reply to the
+    presumed level a (re)transmission to it must carry; it grows as
+    replies report the children they forwarded to, so a retry can
+    target exactly the buckets whose coverage is missing instead of
+    re-broadcasting the scan.
+    """
+
+    matcher: ScanMatcher
+    request_size: int
+    expected: dict[int, int] = field(default_factory=dict)
+    replied: set[int] = field(default_factory=set)
+    attempt: int = 0
+    timer: Timer | None = None
+    done: bool = False
+    failed: bool = False
 
 
 class LHStarBucket(Node):
@@ -70,6 +115,17 @@ class LHStarBucket(Node):
         # not answered from an incomplete state.
         self.pending = pending
         self._buffered: list[Message] = []
+        # Idempotent delivery under retransmission/duplication: the
+        # bucket that *executes* a state-changing operation remembers
+        # its reply per request id (client, op) and replays it for
+        # redelivered requests instead of re-applying the operation —
+        # so record counts and parity bookkeeping stay exact.
+        self._keyed_replies: OrderedDict[
+            tuple[Hashable, int], tuple[dict[str, Any], int]
+        ] = OrderedDict()
+        self._scan_replies: OrderedDict[
+            tuple[Hashable, int], dict[str, Any]
+        ] = OrderedDict()
 
     # -- message dispatch -----------------------------------------------
 
@@ -127,6 +183,7 @@ class LHStarBucket(Node):
                     "address": self.address,
                     "level": None,
                     "hits": [],
+                    "forwarded": [],
                 },
                 size=HEADER_SIZE,
             )
@@ -177,18 +234,35 @@ class LHStarBucket(Node):
                 hops=message.hops + 1,
             )
             return
+        if message.kind in ("insert", "delete"):
+            request = (message.payload["client"], message.payload["op"])
+            cached = self._keyed_replies.get(request)
+            if cached is not None:
+                reply, size = cached
+                self.send(message.payload["client"], "reply", reply,
+                          size=size)
+                return
         getattr(self, "_do_" + message.kind)(message)
+
+    def _reply_keyed(
+        self, payload: dict[str, Any], reply: dict[str, Any], size: int
+    ) -> None:
+        """Send a keyed-op reply and remember it for redeliveries."""
+        request = (payload["client"], payload["op"])
+        self._keyed_replies[request] = (reply, size)
+        while len(self._keyed_replies) > DEDUP_CACHE_LIMIT:
+            self._keyed_replies.popitem(last=False)
+        self.send(payload["client"], "reply", reply, size=size)
 
     def _do_insert(self, message: Message) -> None:
         payload = message.payload
         record = Record(payload["key"], payload["content"])
         old = self.records.get(record.rid)
         self.records[record.rid] = record
-        self.send(
-            payload["client"],
-            "reply",
+        self._reply_keyed(
+            payload,
             {"op": payload["op"], "ok": True, "created": old is None},
-            size=HEADER_SIZE,
+            HEADER_SIZE,
         )
         self.file.on_store(self.address, record, old)
         if len(self.records) > self.file.bucket_capacity:
@@ -216,11 +290,10 @@ class LHStarBucket(Node):
     def _do_delete(self, message: Message) -> None:
         payload = message.payload
         removed = self.records.pop(payload["key"], None)
-        self.send(
-            payload["client"],
-            "reply",
+        self._reply_keyed(
+            payload,
             {"op": payload["op"], "ok": removed is not None},
-            size=HEADER_SIZE,
+            HEADER_SIZE,
         )
         if removed is not None:
             self.file.on_remove(self.address, removed)
@@ -236,13 +309,31 @@ class LHStarBucket(Node):
 
     def _handle_scan(self, message: Message) -> None:
         payload = message.payload
+        request = (payload["client"], payload["op"])
+        cached = self._scan_replies.get(request)
+        if cached is not None:
+            # Redelivered scan (retransmission or network duplicate):
+            # replay the reply verbatim.  The children we forwarded to
+            # the first time are listed in it, so the client can chase
+            # any of their missing coverage directly — no re-forward.
+            self.send(
+                payload["client"],
+                "scan_reply",
+                cached,
+                size=HEADER_SIZE + sum(
+                    _hit_size(hit) for hit in cached["hits"]
+                ),
+            )
+            return
         presumed = payload["level"]
         # Deterministic-termination forwarding: cover the buckets the
         # client's image did not know about.
         level = presumed
+        children: list[tuple[int, int]] = []
         while level < self.level:
             child = self.address + (1 << level)
             level += 1
+            children.append((child, level))
             forwarded = dict(payload)
             forwarded["level"] = level
             self.send(
@@ -258,15 +349,22 @@ class LHStarBucket(Node):
             outcome = matcher(record)
             if outcome is not None:
                 hits.append(outcome)
+        reply = {
+            "op": payload["op"],
+            "address": self.address,
+            "level": self.level,
+            "hits": hits,
+            # Who answers for the rest of our presumed range — rides
+            # in the header allowance; lets the client retry precisely.
+            "forwarded": children,
+        }
+        self._scan_replies[request] = reply
+        while len(self._scan_replies) > DEDUP_CACHE_LIMIT:
+            self._scan_replies.popitem(last=False)
         self.send(
             payload["client"],
             "scan_reply",
-            {
-                "op": payload["op"],
-                "address": self.address,
-                "level": self.level,
-                "hits": hits,
-            },
+            reply,
             size=HEADER_SIZE + sum(_hit_size(hit) for hit in hits),
         )
 
@@ -460,7 +558,18 @@ class LHStarCoordinator(Node):
 
 
 class LHStarClient(Node):
-    """A client with a private image; entry point for all operations."""
+    """A client with a private image; entry point for all operations.
+
+    When its file carries a :class:`~repro.net.faults.RetryPolicy`,
+    every operation arms a virtual-clock timeout: unanswered keyed
+    operations are retransmitted (re-addressed under the *current*
+    image) with exponential backoff, and scans retransmit only to the
+    buckets whose coverage fractions are still missing.  Bucket-side
+    request-id dedup makes redelivery idempotent, so a retry can never
+    double-apply an insert or delete.  Exhausting the retry budget
+    surfaces as :class:`~repro.net.faults.RetryExhaustedError` from
+    ``take_reply``/``take_scan``.
+    """
 
     def __init__(self, file: "LHStarFile", client_index: int = 0) -> None:
         super().__init__(file.client_id(client_index))
@@ -471,6 +580,8 @@ class LHStarClient(Node):
         self.responses: dict[int, dict[str, Any]] = {}
         self._scan_hits: dict[int, list[Any]] = {}
         self._scan_coverage: dict[int, Fraction] = {}
+        self._pending_keyed: dict[int, _PendingKeyed] = {}
+        self._scan_state: dict[int, _ScanState] = {}
         self.iam_count = 0
 
     # -- message handling ----------------------------------------------------
@@ -478,7 +589,16 @@ class LHStarClient(Node):
     def handle(self, message: Message) -> None:
         kind = message.kind
         if kind == "reply":
-            self.responses[message.payload["op"]] = message.payload
+            op = message.payload["op"]
+            pending = self._pending_keyed.pop(op, None)
+            if pending is not None and pending.timer is not None:
+                pending.timer.cancel()
+            if pending is None and self.file.retry_policy is not None:
+                # A duplicate/late reply for an operation that already
+                # completed (every live op has pending state while a
+                # retry policy is in force).
+                return
+            self.responses[op] = message.payload
         elif kind == "iam":
             self.iam_count += 1
             self.i_image, self.n_image = image_adjust(
@@ -490,6 +610,16 @@ class LHStarClient(Node):
         elif kind == "scan_reply":
             payload = message.payload
             op = payload["op"]
+            if op not in self._scan_hits:
+                return  # late reply for a scan already collected
+            state = self._scan_state.get(op)
+            if state is not None:
+                address = payload["address"]
+                if address in state.replied:
+                    return  # redelivered reply: already accounted
+                state.replied.add(address)
+                for child, level in payload.get("forwarded", ()):
+                    state.expected.setdefault(child, level)
             self._scan_hits[op].extend(payload["hits"])
             if payload["level"] is not None:
                 self._scan_coverage[op] += Fraction(
@@ -497,6 +627,10 @@ class LHStarClient(Node):
                 )
             # Retired buckets reply with level None: zero coverage —
             # their merge target answers for the key range.
+            if state is not None and self._scan_coverage[op] == 1:
+                state.done = True
+                if state.timer is not None:
+                    state.timer.cancel()
         else:
             raise ValueError(f"client: unknown message kind {kind!r}")
 
@@ -505,6 +639,20 @@ class LHStarClient(Node):
     def start_keyed(self, kind: str, key: int, content: bytes | None = None) -> int:
         """Send a keyed operation using the current image; returns op id."""
         op = next(self._ops)
+        policy = self.file.retry_policy
+        if policy is not None:
+            self._pending_keyed[op] = _PendingKeyed(
+                kind=kind, key=key, content=content
+            )
+        self._send_keyed(op, kind, key, content)
+        if policy is not None:
+            self._arm_keyed_timer(op, policy.timeout)
+        return op
+
+    def _send_keyed(
+        self, op: int, kind: str, key: int, content: bytes | None
+    ) -> None:
+        """(Re)transmit one keyed operation under the current image."""
         address = client_address(key, self.i_image, self.n_image)
         payload: dict[str, Any] = {"key": key, "op": op, "client": self.node_id}
         size = HEADER_SIZE
@@ -512,7 +660,32 @@ class LHStarClient(Node):
             payload["content"] = content
             size += RECORD_OVERHEAD + len(content or b"")
         self.send(self.file.bucket_id(address), kind, payload, size=size)
-        return op
+
+    def _arm_keyed_timer(self, op: int, delay: float) -> None:
+        self._pending_keyed[op].timer = self.network.schedule(
+            delay, lambda: self._keyed_timeout(op)
+        )
+
+    def _keyed_timeout(self, op: int) -> None:
+        pending = self._pending_keyed.get(op)
+        if pending is None:
+            return
+        policy = self.file.retry_policy
+        pending.attempt += 1
+        if pending.attempt > policy.max_retries:
+            del self._pending_keyed[op]
+            self.responses[op] = {
+                "op": op,
+                "ok": False,
+                "error": (
+                    f"{pending.kind} of key {pending.key} got no reply "
+                    f"after {policy.max_retries} retries"
+                ),
+            }
+            return
+        self.network.stats.retries += 1
+        self._send_keyed(op, pending.kind, pending.key, pending.content)
+        self._arm_keyed_timer(op, policy.delay(pending.attempt))
 
     def start_scan(self, matcher: ScanMatcher, request_size: int = HEADER_SIZE) -> int:
         """Broadcast a scan to every bucket in the image; returns op id."""
@@ -520,38 +693,86 @@ class LHStarClient(Node):
         self._scan_hits[op] = []
         self._scan_coverage[op] = Fraction(0)
         known = (1 << self.i_image) + self.n_image
-        for address in range(known):
-            self.send(
-                self.file.bucket_id(address),
-                "scan",
-                {
-                    "op": op,
-                    "client": self.node_id,
-                    "matcher": matcher,
-                    "level": scan_initial_level(
-                        address, self.i_image, self.n_image
-                    ),
-                },
-                size=request_size,
+        expected = {
+            address: scan_initial_level(
+                address, self.i_image, self.n_image
+            )
+            for address in range(known)
+        }
+        state = _ScanState(
+            matcher=matcher, request_size=request_size,
+            expected=dict(expected),
+        )
+        self._scan_state[op] = state
+        for address, level in expected.items():
+            self._send_scan(op, address, level)
+        policy = self.file.retry_policy
+        if policy is not None:
+            state.timer = self.network.schedule(
+                policy.timeout, lambda: self._scan_timeout(op)
             )
         return op
+
+    def _send_scan(self, op: int, address: int, level: int) -> None:
+        state = self._scan_state[op]
+        self.send(
+            self.file.bucket_id(address),
+            "scan",
+            {
+                "op": op,
+                "client": self.node_id,
+                "matcher": state.matcher,
+                "level": level,
+            },
+            size=state.request_size,
+        )
+
+    def _scan_timeout(self, op: int) -> None:
+        state = self._scan_state.get(op)
+        if state is None or state.done:
+            return
+        policy = self.file.retry_policy
+        state.attempt += 1
+        if state.attempt > policy.max_retries:
+            state.failed = True
+            return
+        # Targeted retry: only the buckets whose coverage fraction is
+        # still missing, at the presumed level recorded for each —
+        # never a re-broadcast of the whole scan round.
+        for address, level in state.expected.items():
+            if address not in state.replied:
+                self.network.stats.retries += 1
+                self._send_scan(op, address, level)
+        state.timer = self.network.schedule(
+            policy.delay(state.attempt), lambda: self._scan_timeout(op)
+        )
 
     def take_reply(self, op: int) -> dict[str, Any]:
         """Pop the (already delivered) reply for ``op``."""
         try:
-            return self.responses.pop(op)
+            reply = self.responses.pop(op)
         except KeyError:
             raise RuntimeError(f"no reply delivered for op {op}") from None
+        if reply.get("error"):
+            raise RetryExhaustedError(reply["error"])
+        return reply
 
     def take_scan(self, op: int) -> list[Any]:
         """Pop scan hits for ``op``, verifying full coverage."""
+        state = self._scan_state.pop(op, None)
         coverage = self._scan_coverage.pop(op)
+        hits = self._scan_hits.pop(op)
+        if state is not None and state.failed:
+            raise RetryExhaustedError(
+                f"scan abandoned at coverage {coverage} after "
+                f"{state.attempt - 1} retry rounds"
+            )
         if coverage != 1:
             raise RuntimeError(
                 f"scan terminated with coverage {coverage} != 1; "
                 "the deterministic-termination invariant is broken"
             )
-        return self._scan_hits.pop(op)
+        return hits
 
 
 class LHStarFile:
@@ -572,6 +793,7 @@ class LHStarFile:
         load_factor_threshold: float = 0.8,
         shrink: bool = False,
         merge_threshold: float = 0.4,
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
     ) -> None:
         if bucket_capacity < 1:
             raise ValueError("bucket capacity must be positive")
@@ -590,6 +812,9 @@ class LHStarFile:
             )
         self.name = name
         self.network = network or Network()
+        #: Timeout/retry discipline for this file's clients; ``None``
+        #: disables retransmission entirely (pre-robustness behaviour).
+        self.retry_policy = retry_policy
         self.bucket_capacity = bucket_capacity
         self.split_policy = split_policy
         self.load_factor_threshold = load_factor_threshold
@@ -763,9 +988,20 @@ class LHStarFile:
 
 
 def _hit_size(hit: Any) -> int:
-    """Accounted wire size of one scan hit."""
+    """Accounted wire size of one scan hit.
+
+    Hit objects that know their encoded size expose a ``wire_size``
+    attribute (e.g. :class:`~repro.core.search.SiteHit`); containers
+    are accounted element-wise; bare scalars cost 8 bytes.  Before the
+    ``wire_size`` protocol, every structured hit was billed a flat
+    8 bytes regardless of its positions payload, systematically
+    under-reporting scan bandwidth.
+    """
+    wire = getattr(hit, "wire_size", None)
+    if wire is not None:
+        return wire
     if isinstance(hit, (bytes, bytearray)):
         return len(hit)
-    if isinstance(hit, tuple):
-        return 8 * len(hit)
+    if isinstance(hit, (tuple, list)):
+        return sum(_hit_size(element) for element in hit)
     return 8

@@ -72,6 +72,29 @@ class TestCombined:
         result = store.search("THOMAS", anchor_start=True)
         assert result.matches == frozenset({2, 5})
 
+    def test_start_anchor_on_reduced_layout(self):
+        """Regression: the start-anchor filter used to hardcode
+        (group 0, alignment 0); the anchor is now derived from the
+        layout, so §2.5 reduced layouts anchor correctly too."""
+        store = EncryptedSearchableStore(
+            SchemeParameters.reduced(8, 2)
+        )
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        result = store.search("THOMAS SCHW", anchor_start=True)
+        assert result.matches == frozenset({2})
+        prefix = store.search("SCHWARZMANN", anchor_start=True)
+        assert prefix.matches == frozenset({3})
+
+    def test_start_anchor_on_reduced_drop_partial_layout(self):
+        store = EncryptedSearchableStore(
+            SchemeParameters.reduced(8, 2, drop_partial_chunks=True)
+        )
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        result = store.search("THOMAS SCHW", anchor_start=True)
+        assert result.matches == frozenset({2})
+
 
 NAME_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ "
 

@@ -40,6 +40,34 @@ class TestTopology:
         net.detach("c")
         assert "c" not in net
 
+    def test_detach_purges_link_clocks(self):
+        """No stale pairwise-FIFO floors survive a detach — a node
+        re-attached under the same id starts with fresh links."""
+        net = Network()
+        net.attach(Collector("a"))
+        net.attach(Collector("b"))
+        net.send("a", "b", "x")
+        net.send("b", "a", "y")
+        net.run()
+        assert net._link_clock
+        net.detach("b")
+        assert not any("b" in link for link in net._link_clock)
+
+    def test_reattached_node_starts_with_fresh_fifo_floor(self):
+        net = Network()
+        net.attach(Collector("a"))
+        net.attach(Collector("b"))
+        slow = net.send("a", "b", "x", size=10_000_000)
+        net.detach("b")
+        net.attach(Collector("b"))
+        fast = net.send("a", "b", "x", size=1)
+        # Without the purge the fast message would be pinned just past
+        # the slow one's FIFO floor; the new link owes it nothing.
+        assert fast.arrival_time == pytest.approx(
+            net.latency.latency(1)
+        )
+        assert fast.arrival_time < slow.arrival_time
+
     def test_send_to_unknown_node(self):
         net = Network()
         with pytest.raises(KeyError):
@@ -125,6 +153,74 @@ class TestDelivery:
         net = Network()
         net.attach(Collector("sink"))
         net.send("sink", "sink", "x")
+        with pytest.raises(RuntimeError):
+            net.reset_clock()
+
+
+class TestTimers:
+    def test_timer_fires_at_virtual_time(self):
+        net = Network()
+        fired_at = []
+        net.schedule(0.5, lambda: fired_at.append(net.now))
+        net.run()
+        assert fired_at == [0.5]
+        assert net.now == 0.5
+
+    def test_timers_interleave_with_messages(self):
+        net = Network()
+        sink = net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        order = []
+        net.schedule(10.0, lambda: order.append("late"))
+        net.send("src", "sink", "data")  # sub-millisecond latency
+        net.schedule(0.0, lambda: order.append("early"))
+        sink.handle = lambda message: order.append("message")
+        net.run()
+        assert order == ["early", "message", "late"]
+
+    def test_timer_callback_may_send(self):
+        net = Network()
+        sink = net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        net.schedule(1.0, lambda: net.send("src", "sink", "delayed"))
+        delivered = net.run()
+        assert delivered == 1
+        assert sink.received[0].kind == "delayed"
+        assert sink.received[0].send_time == 1.0
+
+    def test_cancelled_timer_leaves_no_trace(self):
+        """Arming and cancelling a timeout must not perturb the clock
+        — the retry layer's happy path stays bit-identical."""
+        net = Network()
+        net.attach(Collector("sink"))
+        net.attach(Collector("src"))
+        boom = net.schedule(99.0, lambda: pytest.fail("fired"))
+        net.send("src", "sink", "data")
+        boom.cancel()
+        net.run()
+        assert not boom.fired
+        assert net.now < 1.0
+
+    def test_run_does_not_count_timers_as_deliveries(self):
+        net = Network()
+        net.schedule(0.1, lambda: None)
+        assert net.run() == 0
+
+    def test_negative_delay_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.schedule(-0.1, lambda: None)
+
+    def test_reset_clock_tolerates_cancelled_timers(self):
+        net = Network()
+        timer = net.schedule(5.0, lambda: None)
+        timer.cancel()
+        net.reset_clock()
+        assert net.now == 0.0
+
+    def test_reset_clock_rejects_live_timer(self):
+        net = Network()
+        net.schedule(5.0, lambda: None)
         with pytest.raises(RuntimeError):
             net.reset_clock()
 
