@@ -1,0 +1,112 @@
+"""Observability overhead: tracing must not change what it measures.
+
+Two claims, one workload (bulk insert, then searches, gets and a
+rekey over a phonebook store):
+
+* **Fidelity** — the simulated protocol is byte-identical with and
+  without a tracer and metrics registry installed.  Every counter in
+  ``NetworkStats`` (messages, bytes, per-kind census, faults) must
+  match exactly; instrumentation that perturbed the thing it observes
+  would be worthless.  This is a hard assertion.
+* **Cheapness** — wall-clock overhead of active tracing is small
+  (target ~5%), and of the dormant hooks effectively nil.  Wall-clock
+  on shared CI is noisy, so the bench reports best-of-N timings in
+  the emitted table and only hard-fails on an intentionally generous
+  bound.
+"""
+
+import time
+
+from repro.bench.tables import TableResult
+from repro.core import EncryptedSearchableStore, SchemeParameters
+from repro.data.phonebook import generate_directory
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+RECORDS = 300
+REPEATS = 3
+PATTERNS = ["SCHWARZ", "MARTINEZ", "WONG", "NGUYEN", "GARCIA"]
+# Generous hard bound: catches an accidentally quadratic tracer
+# without flaking on a busy CI machine.  The table reports the real
+# number; the ~5% target is a review criterion, not an assert.
+HARD_OVERHEAD_BOUND = 0.50
+
+
+def run_workload(directory, tracer=None, registry=None):
+    """One deterministic workload; returns (stats, wall_seconds)."""
+    params = SchemeParameters.full(4, master_key=b"obs-overhead")
+    store = EncryptedSearchableStore(params, bucket_capacity=32)
+    if tracer is not None:
+        tracer.network = store.network
+    started = time.perf_counter()
+    with use_tracer(tracer), use_metrics(registry):
+        for entry in directory.entries:
+            store.put(entry.rid, entry.record_text)
+        for pattern in PATTERNS:
+            store.search(pattern)
+        for entry in directory.entries[:20]:
+            store.get(entry.rid)
+        store.rekey(b"obs-overhead-rotated")
+    elapsed = time.perf_counter() - started
+    return store.network.stats, elapsed
+
+
+def best_of(directory, repeats=REPEATS, traced=False):
+    """Best wall-clock of ``repeats`` runs, plus the last run's stats."""
+    best = float("inf")
+    stats = spans = None
+    for _ in range(repeats):
+        tracer = Tracer(network=None) if traced else None
+        registry = MetricsRegistry() if traced else None
+        stats, elapsed = run_workload(directory, tracer, registry)
+        best = min(best, elapsed)
+        if tracer is not None:
+            spans = len(tracer.finished)
+    return stats, best, spans
+
+
+def assert_identical(plain, traced):
+    """The full NetworkStats surface must match field for field."""
+    assert traced.messages == plain.messages
+    assert traced.bytes == plain.bytes
+    assert dict(traced.by_kind) == dict(plain.by_kind)
+    assert dict(traced.bytes_by_kind) == dict(plain.bytes_by_kind)
+    assert traced.dropped == plain.dropped
+    assert traced.duplicated == plain.duplicated
+    assert traced.retries == plain.retries
+
+
+def test_observability_overhead(emit):
+    directory = generate_directory(RECORDS, seed=2006)
+    # Interleave warmup: one throwaway run primes allocator/caches.
+    run_workload(directory)
+
+    plain_stats, plain_best, _ = best_of(directory, traced=False)
+    traced_stats, traced_best, spans = best_of(directory, traced=True)
+
+    assert_identical(plain_stats, traced_stats)
+    overhead = traced_best / plain_best - 1.0
+    assert overhead < HARD_OVERHEAD_BOUND, (
+        f"tracing overhead {overhead:.1%} exceeds the "
+        f"{HARD_OVERHEAD_BOUND:.0%} sanity bound"
+    )
+
+    table = TableResult(
+        title=f"Observability overhead ({RECORDS} records, "
+              f"best of {REPEATS})",
+        headers=["mode", "wall (s)", "overhead", "spans",
+                 "messages", "bytes"],
+    )
+    table.add_row("uninstrumented", plain_best, "--", 0,
+                  plain_stats.messages, plain_stats.bytes)
+    table.add_row("tracer + metrics", traced_best,
+                  f"{overhead:+.1%}", spans,
+                  traced_stats.messages, traced_stats.bytes)
+    table.notes.append(
+        "message and byte counters are asserted byte-identical "
+        "between the two modes; tracing observes, never perturbs."
+    )
+    table.notes.append(
+        "wall-clock target is ~5% on an idle machine; the hard "
+        f"bound here is {HARD_OVERHEAD_BOUND:.0%} to keep CI stable."
+    )
+    emit(table, "obs_overhead")

@@ -55,7 +55,7 @@ def main() -> None:
         op = veteran.start_keyed("lookup", key)
         file.network.run()
         assert veteran.take_reply(op)["ok"]
-    cost = file.network.stats.delta(before).messages / 100
+    cost = file.network.stats.diff(before).messages / 100
     print(f"  100/100 lookups resolved at {cost:.2f} msgs each "
           "(tombstones redirect)")
 

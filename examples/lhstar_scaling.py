@@ -24,7 +24,7 @@ def main() -> None:
             key = rng.randrange(10 ** 9)
             file.insert(key, f"record-{key}".encode() + b"\x00")
             total += 1
-        insert_cost = file.network.stats.delta(before).messages / 500
+        insert_cost = file.network.stats.diff(before).messages / 500
         probe = rng.sample(sorted(
             rid for bucket in file.buckets.values()
             for rid in bucket.records
@@ -34,7 +34,7 @@ def main() -> None:
         before = file.network.stats.snapshot()
         for key in probe:
             file.lookup(key)
-        lookup_cost = file.network.stats.delta(before).messages / 100
+        lookup_cost = file.network.stats.diff(before).messages / 100
         i, n = file.state
         print(f"{total:8} {file.bucket_count:8} {f'({i},{n})':>8} "
               f"{insert_cost:12.2f} {lookup_cost:12.2f}")
@@ -50,7 +50,7 @@ def main() -> None:
         op = stale.start_keyed("lookup", key)
         file.network.run()
         assert stale.take_reply(op)["ok"]
-    cost = file.network.stats.delta(before).messages / 200
+    cost = file.network.stats.diff(before).messages / 200
     print(f"  {cost:.2f} messages/lookup while converging "
           f"({stale.iam_count} image adjustments received)")
     print(f"  final image: 2^{stale.i_image} + {stale.n_image} buckets "
@@ -61,7 +61,7 @@ def main() -> None:
     needle = f"record-{probe[0]}".encode()
     before = file.network.stats.snapshot()
     hits = file.scan(lambda r: r.rid if needle in r.content else None)
-    delta = file.network.stats.delta(before)
+    delta = file.network.stats.diff(before)
     print(f"  {len(hits)} hit(s) for {needle.decode()!r}, "
           f"{delta.messages} messages "
           f"({file.bucket_count} buckets x request+reply)")

@@ -8,6 +8,7 @@ record-store site.
 """
 
 from repro import EncryptedSearchableStore, SchemeParameters
+from repro.obs import Tracer, use_tracer
 
 
 def main() -> None:
@@ -30,13 +31,20 @@ def main() -> None:
     sample = store.record_file.all_records()[0]
     print(f"record-store site sees: {sample.content[:24].hex()}…\n")
 
-    for pattern in ("SCHWARZ", "WITOLD", "ALEJANDRO", "XYZW"):
-        result = store.search(pattern)
-        matched = [store.get(rid) for rid in sorted(result.matches)]
-        print(f"search {pattern!r:12} -> {len(result.matches)} match(es), "
-              f"{result.cost.messages} messages")
-        for text in matched:
-            print(f"    {text}")
+    # A tracer captures what each operation cost on the wire — no
+    # hand-diffing of NetworkStats snapshots needed.
+    tracer = Tracer(network=store.network)
+    with use_tracer(tracer):
+        for pattern in ("SCHWARZ", "WITOLD", "ALEJANDRO", "XYZW"):
+            result = store.search(pattern)
+            matched = [store.get(rid) for rid in sorted(result.matches)]
+            print(f"search {pattern!r:12} -> "
+                  f"{len(result.matches)} match(es)")
+            for text in matched:
+                print(f"    {text}")
+
+    print("\nwhat each search cost (from the trace):")
+    print(tracer.render_tree())
     print("\nevery lookup decrypts only at the client — "
           "no site ever holds a searchable plaintext")
 

@@ -423,7 +423,7 @@ def exp_lhstar(
         before = file.network.stats.snapshot()
         for key in probe:
             file.lookup(key)
-        converged = file.network.stats.delta(before).messages / len(probe)
+        converged = file.network.stats.diff(before).messages / len(probe)
         # A brand-new client with image (0, 0).
         stale = file.new_client()
         before = file.network.stats.snapshot()
@@ -432,7 +432,7 @@ def exp_lhstar(
             op = stale.start_keyed("lookup", key)
             file.network.run()
             stale.take_reply(op)
-        stale_cost = file.network.stats.delta(before).messages / len(probe)
+        stale_cost = file.network.stats.diff(before).messages / len(probe)
         # Hop bound check via direct address math.
         from repro.sdds.hashing import client_address, forward_address
         for key in probe:
@@ -448,7 +448,7 @@ def exp_lhstar(
             max_hops = max(max_hops, hops)
         before = file.network.stats.snapshot()
         file.scan(lambda record: None)
-        scan_msgs = file.network.stats.delta(before).messages
+        scan_msgs = file.network.stats.diff(before).messages
         table.add_row(
             n, file.bucket_count, f"{converged:.2f}", f"{stale_cost:.2f}",
             max_hops, scan_msgs,
@@ -539,15 +539,15 @@ def exp_elasticity(
     before = file.network.stats.snapshot()
     for key in keys:
         file.insert(key, b"elastic-record\x00")
-    snapshot("grow", file.network.stats.delta(before))
+    snapshot("grow", file.network.stats.diff(before))
     before = file.network.stats.snapshot()
     for key in keys[:deletes]:
         file.delete(key)
-    snapshot("shrink", file.network.stats.delta(before))
+    snapshot("shrink", file.network.stats.diff(before))
     before = file.network.stats.snapshot()
     for key in keys[:deletes // 2]:
         file.insert(key, b"elastic-record\x00")
-    snapshot("regrow", file.network.stats.delta(before))
+    snapshot("regrow", file.network.stats.diff(before))
     survivors = keys[deletes:] + keys[:deletes // 2]
     assert all(file.lookup(k) is not None for k in survivors)
     table.notes.append(

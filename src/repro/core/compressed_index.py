@@ -166,7 +166,7 @@ class CompressedSearchStore:
             candidates=frozenset(candidates),
             matches=frozenset(matches),
             false_positives=frozenset(candidates - matches),
-            cost=self.network.stats.delta(before),
+            cost=self.network.stats.diff(before),
         )
 
     def index_bytes(self) -> int:

@@ -39,6 +39,8 @@ from repro.crypto.modes import CtrCipher
 from repro.net.faults import RetryPolicy
 from repro.net.simulator import Network
 from repro.net.stats import NetworkStats
+from repro.obs.metrics import observe as metric_observe
+from repro.obs.trace import span as obs_span
 from repro.sdds.lhstar import DEFAULT_RETRY_POLICY, LHStarFile
 from repro.sdds.lhstar_rs import LHStarRSFile
 from repro.sdds.records import Record
@@ -201,18 +203,19 @@ class EncryptedSearchableStore:
 
     def put(self, rid: int, text: str) -> None:
         """Store a record: strong copy + all its index streams."""
-        content = self._to_content(text)
-        ciphertext = self._record_cipher.encrypt(
-            content, self._keys.record_nonce(rid)
-        )
-        self.record_file.insert(rid, ciphertext)
-        for (group, site), stream in self.pipeline.build_index_streams(
-            content
-        ).items():
-            self.index_file.insert(
-                self.index_key(rid, group, site), stream
+        with obs_span("ess.put", network=self.network, rid=rid):
+            content = self._to_content(text)
+            ciphertext = self._record_cipher.encrypt(
+                content, self._keys.record_nonce(rid)
             )
-        self._rids.add(rid)
+            self.record_file.insert(rid, ciphertext)
+            for (group, site), stream in (
+                self.pipeline.build_index_streams(content).items()
+            ):
+                self.index_file.insert(
+                    self.index_key(rid, group, site), stream
+                )
+            self._rids.add(rid)
 
     def bulk_load(
         self, records: dict[int, str], concurrency: int = 8
@@ -224,6 +227,13 @@ class EncryptedSearchableStore:
         large concurrent batches instead of one network round per
         record — the practical way to populate a deployment.
         """
+        with obs_span("ess.bulk_load", network=self.network,
+                      records=len(records), concurrency=concurrency):
+            self._bulk_load(records, concurrency)
+
+    def _bulk_load(
+        self, records: dict[int, str], concurrency: int
+    ) -> None:
         record_ops = []
         index_ops = []
         for rid, text in records.items():
@@ -249,25 +259,27 @@ class EncryptedSearchableStore:
 
     def get(self, rid: int) -> str | None:
         """Fetch and decrypt one record by RID."""
-        ciphertext = self.record_file.lookup(rid)
-        if ciphertext is None:
-            return None
-        content = self._record_cipher.decrypt(
-            ciphertext, self._keys.record_nonce(rid)
-        )
-        return self._from_content(content)
+        with obs_span("ess.get", network=self.network, rid=rid):
+            ciphertext = self.record_file.lookup(rid)
+            if ciphertext is None:
+                return None
+            content = self._record_cipher.decrypt(
+                ciphertext, self._keys.record_nonce(rid)
+            )
+            return self._from_content(content)
 
     def delete(self, rid: int) -> bool:
         """Remove a record and all of its index streams."""
-        removed = self.record_file.delete(rid)
-        if removed:
-            for group in range(self.params.layout.group_count):
-                for site in range(self.params.dispersal):
-                    self.index_file.delete(
-                        self.index_key(rid, group, site)
-                    )
-            self._rids.discard(rid)
-        return removed
+        with obs_span("ess.delete", network=self.network, rid=rid):
+            removed = self.record_file.delete(rid)
+            if removed:
+                for group in range(self.params.layout.group_count):
+                    for site in range(self.params.dispersal):
+                        self.index_file.delete(
+                            self.index_key(rid, group, site)
+                        )
+                self._rids.discard(rid)
+            return removed
 
     def __len__(self) -> int:
         return len(self._rids)
@@ -299,6 +311,43 @@ class EncryptedSearchableStore:
         * ``anchor_start`` — match only at the very beginning: the
           hit must sit at chunk position 0 of the offset-0 chunking.
         """
+        with obs_span("ess.search", network=self.network,
+                      pattern=pattern) as span:
+            result = self._search(
+                pattern, verify, anchor_start, anchor_end
+            )
+            self._finish_search_span(span, result)
+            return result
+
+    def _finish_search_span(self, span, result: SearchResult) -> None:
+        """Annotate a search-type span with the result's shape and
+        feed the latency/false-positive histograms (no-ops without an
+        installed tracer/registry)."""
+        span.annotate(
+            candidates=len(result.candidates),
+            matches=len(result.matches),
+            false_positives=len(result.false_positives),
+            scan_messages=(
+                None if result.scan_cost is None
+                else result.scan_cost.messages
+            ),
+            verify_messages=(
+                None if result.verify_cost is None
+                else result.verify_cost.messages
+            ),
+        )
+        metric_observe("ess.search.elapsed", result.elapsed)
+        metric_observe("ess.search.messages", result.cost.messages)
+        metric_observe("ess.search.false_positives",
+                       len(result.false_positives))
+
+    def _search(
+        self,
+        pattern: str,
+        verify: bool,
+        anchor_start: bool,
+        anchor_end: bool,
+    ) -> SearchResult:
         pattern_bytes = self._pattern_bytes(pattern)
         if anchor_end:
             pattern_bytes += bytes(
@@ -356,10 +405,10 @@ class EncryptedSearchableStore:
             candidates=frozenset(candidates),
             matches=frozenset(matches),
             false_positives=frozenset(candidates - matches),
-            cost=self.network.stats.delta(before),
+            cost=self.network.stats.diff(before),
             elapsed=self.network.now - started,
-            scan_cost=after_scan.delta(before),
-            verify_cost=self.network.stats.delta(after_scan),
+            scan_cost=after_scan.diff(before),
+            verify_cost=self.network.stats.diff(after_scan),
         )
 
     def _start_anchor(self, plan) -> tuple[int, int, int]:
@@ -400,6 +449,15 @@ class EncryptedSearchableStore:
         generalises to this without any server-side change — sites
         just match several needle sets.
         """
+        with obs_span("ess.search_all", network=self.network,
+                      patterns=list(patterns)) as span:
+            result = self._search_all(patterns, verify)
+            self._finish_search_span(span, result)
+            return result
+
+    def _search_all(
+        self, patterns: list[str], verify: bool
+    ) -> SearchResult:
         if not patterns:
             raise ConfigurationError("need at least one pattern")
         plans = [
@@ -452,10 +510,10 @@ class EncryptedSearchableStore:
             candidates=frozenset(candidates),
             matches=frozenset(matches),
             false_positives=frozenset(candidates - matches),
-            cost=self.network.stats.delta(before),
+            cost=self.network.stats.diff(before),
             elapsed=self.network.now - started,
-            scan_cost=after_scan.delta(before),
-            verify_cost=self.network.stats.delta(after_scan),
+            scan_cost=after_scan.diff(before),
+            verify_cost=self.network.stats.diff(after_scan),
         )
 
     def search_batch(
@@ -476,6 +534,24 @@ class EncryptedSearchableStore:
         single-pattern batch the two entry points report identical
         numbers.
         """
+        with obs_span("ess.search_batch", network=self.network,
+                      patterns=len(patterns)) as span:
+            results = self._search_batch(patterns, verify)
+            if results:
+                shared = next(iter(results.values()))
+                span.annotate(
+                    candidates=len(
+                        set().union(*(r.candidates
+                                      for r in results.values()))
+                    ),
+                    cost_messages=shared.cost.messages,
+                )
+                metric_observe("ess.search.elapsed", shared.elapsed)
+            return results
+
+    def _search_batch(
+        self, patterns: list[str], verify: bool
+    ) -> dict[str, SearchResult]:
         if not patterns:
             raise ConfigurationError("need at least one pattern")
         unique = list(dict.fromkeys(patterns))
@@ -530,9 +606,9 @@ class EncryptedSearchableStore:
         # Snapshot once all shared work — scan round *and* candidate
         # fetches — is done, so batch results account verification
         # exactly like single-pattern search() does.
-        cost = self.network.stats.delta(before)
-        scan_cost = after_scan.delta(before)
-        verify_cost = self.network.stats.delta(after_scan)
+        cost = self.network.stats.diff(before)
+        scan_cost = after_scan.diff(before)
+        verify_cost = self.network.stats.diff(after_scan)
         elapsed = self.network.now - started
         return {
             pattern: SearchResult(
@@ -559,6 +635,11 @@ class EncryptedSearchableStore:
         coming in.  O(records) cost, reported through the usual
         message counters.
         """
+        with obs_span("ess.rekey", network=self.network,
+                      records=len(self._rids)):
+            self._rekey(new_master)
+
+    def _rekey(self, new_master: bytes) -> None:
         if not new_master:
             raise ConfigurationError("new master key must be non-empty")
         plaintexts = {rid: self.get(rid) for rid in sorted(self._rids)}
@@ -604,6 +685,15 @@ class EncryptedSearchableStore:
         network observer the query was short.  Recursion extends
         patterns more than one symbol short of the minimum.
         """
+        with obs_span("ess.search_short", network=self.network,
+                      pattern=pattern) as span:
+            result = self._search_short(pattern, alphabet, verify)
+            self._finish_search_span(span, result)
+            return result
+
+    def _search_short(
+        self, pattern: str, alphabet: str, verify: bool
+    ) -> SearchResult:
         deficit = self.params.min_query_length - len(pattern)
         if deficit <= 0:
             return self.search(pattern, verify=verify)
@@ -637,10 +727,10 @@ class EncryptedSearchableStore:
             candidates=frozenset(candidates),
             matches=frozenset(matches),
             false_positives=frozenset(candidates - matches),
-            cost=self.network.stats.delta(before),
+            cost=self.network.stats.diff(before),
             elapsed=self.network.now - started,
-            scan_cost=after_scan.delta(before),
-            verify_cost=self.network.stats.delta(after_scan),
+            scan_cost=after_scan.diff(before),
+            verify_cost=self.network.stats.diff(after_scan),
         )
 
     # -- planning / introspection -------------------------------------------------

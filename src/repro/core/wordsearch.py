@@ -145,7 +145,7 @@ class EncryptedWordStore:
             word=word,
             matches=frozenset(positions),
             positions=positions,
-            cost=self.network.stats.delta(before),
+            cost=self.network.stats.diff(before),
         )
 
     def decrypt_index_of(self, rid: int) -> list[str]:

@@ -154,6 +154,14 @@ class Network:
         #: ``None`` — and a model with zero rates — means perfectly
         #: reliable delivery, bit-identical to the historic behaviour.
         self.faults = faults
+        #: Optional observability hook (duck-typed; see
+        #: :class:`repro.obs.metrics.NetworkMetricsObserver`): called
+        #: as ``on_send(kind, size)`` for every message charged to the
+        #: wire, ``on_drop(kind, size)`` when the fault model eats one,
+        #: and ``on_deliver(kind, size, latency)`` on delivery.  The
+        #: hot paths guard every call with a ``None`` check, so an
+        #: unobserved network pays nothing.
+        self.observer: Any | None = None
         self.nodes: dict[Hashable, Node] = {}
         self.stats = NetworkStats()
         self.now = 0.0
@@ -212,11 +220,16 @@ class Network:
             raise KeyError(f"unknown destination node {dst!r}")
         payload = payload or {}
         self.stats.record(kind, size)
+        observer = self.observer
+        if observer is not None:
+            observer.on_send(kind, size)
         copies = 1
         faults = self.faults
         if faults is not None and faults.applies(kind):
             if faults.drops():
                 self.stats.dropped += 1
+                if observer is not None:
+                    observer.on_drop(kind, size)
                 return Message(
                     src=src, dst=dst, kind=kind, payload=payload,
                     size=size, hops=hops, send_time=self.now,
@@ -229,6 +242,8 @@ class Network:
             if copy:
                 self.stats.record(kind, size)
                 self.stats.duplicated += 1
+                if observer is not None:
+                    observer.on_send(kind, size)
             arrival = self.now + self.latency.latency(size)
             link = (src, dst)
             floor = self._link_clock.get(link)
@@ -297,6 +312,10 @@ class Network:
                 processed += 1
                 continue
             self.now = max(self.now, arrival)
+            if self.observer is not None:
+                self.observer.on_deliver(
+                    item.kind, item.size, self.now - item.send_time
+                )
             self.nodes[item.dst].handle(item)
             delivered += 1
             processed += 1

@@ -49,17 +49,35 @@ class NetworkStats:
             retries=self.retries,
         )
 
-    def delta(self, earlier: "NetworkStats") -> "NetworkStats":
-        """Totals accumulated since ``earlier`` was snapshotted."""
+    def diff(self, older: "NetworkStats") -> "NetworkStats":
+        """Totals accumulated since ``older`` was snapshotted.
+
+        The canonical way to cost one operation — snapshot, run,
+        diff — used by every search entry point, the obs tracer's
+        spans and the benches, instead of subtracting counter fields
+        by hand (which silently missed ``dropped``/``duplicated``/
+        ``retries`` whenever a new counter was added):
+
+        >>> stats = NetworkStats()
+        >>> before = stats.snapshot()
+        >>> stats.record("lookup", 64); stats.record("reply", 96)
+        >>> delta = stats.diff(before)
+        >>> delta.messages, delta.bytes, dict(delta.by_kind)
+        (2, 160, {'lookup': 1, 'reply': 1})
+        """
         return NetworkStats(
-            messages=self.messages - earlier.messages,
-            bytes=self.bytes - earlier.bytes,
-            by_kind=self.by_kind - earlier.by_kind,
-            bytes_by_kind=self.bytes_by_kind - earlier.bytes_by_kind,
-            dropped=self.dropped - earlier.dropped,
-            duplicated=self.duplicated - earlier.duplicated,
-            retries=self.retries - earlier.retries,
+            messages=self.messages - older.messages,
+            bytes=self.bytes - older.bytes,
+            by_kind=self.by_kind - older.by_kind,
+            bytes_by_kind=self.bytes_by_kind - older.bytes_by_kind,
+            dropped=self.dropped - older.dropped,
+            duplicated=self.duplicated - older.duplicated,
+            retries=self.retries - older.retries,
         )
+
+    def delta(self, earlier: "NetworkStats") -> "NetworkStats":
+        """Backward-compatible alias of :meth:`diff`."""
+        return self.diff(earlier)
 
     def reset(self) -> None:
         self.messages = 0

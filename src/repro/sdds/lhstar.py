@@ -30,6 +30,10 @@ from typing import Any, Callable, Hashable
 
 from repro.net.faults import RetryExhaustedError, RetryPolicy
 from repro.net.simulator import Message, Network, Node, Timer
+from repro.obs.metrics import inc as metric_inc
+from repro.obs.metrics import observe as metric_observe
+from repro.obs.metrics import set_gauge as metric_set_gauge
+from repro.obs.trace import emit as obs_emit
 from repro.sdds.hashing import (
     client_address,
     forward_address,
@@ -212,6 +216,10 @@ class LHStarBucket(Node):
         if target is not None:
             # Misdirected: forward, bumping the hop counter the LNS96
             # theorem bounds by 2.
+            obs_emit("lh.forward", file=self.file.name, kind=message.kind,
+                     bucket=self.address, target=target,
+                     hops=message.hops + 1)
+            metric_inc("lh.forward")
             if message.hops == 0:
                 # The *first forwarder* sends the Image Adjustment
                 # Message with its own address and level (LNS96).
@@ -238,6 +246,10 @@ class LHStarBucket(Node):
             request = (message.payload["client"], message.payload["op"])
             cached = self._keyed_replies.get(request)
             if cached is not None:
+                obs_emit("lh.dedup_replay", file=self.file.name,
+                         kind=message.kind, bucket=self.address,
+                         op=message.payload["op"])
+                metric_inc("lh.dedup_replay")
                 reply, size = cached
                 self.send(message.payload["client"], "reply", reply,
                           size=size)
@@ -316,6 +328,10 @@ class LHStarBucket(Node):
             # replay the reply verbatim.  The children we forwarded to
             # the first time are listed in it, so the client can chase
             # any of their missing coverage directly — no re-forward.
+            obs_emit("lh.dedup_replay", file=self.file.name,
+                     kind="scan", bucket=self.address,
+                     op=payload["op"])
+            metric_inc("lh.dedup_replay")
             self.send(
                 payload["client"],
                 "scan_reply",
@@ -532,6 +548,11 @@ class LHStarCoordinator(Node):
         last = (1 << i) + n - 1
         target = n - 1
         self.i, self.n = i, n - 1
+        obs_emit("lh.merge", file=self.file.name, bucket=last,
+                 target=target, level=i)
+        metric_inc("lh.merge")
+        metric_set_gauge(f"lh.buckets.{self.file.name}",
+                         self.bucket_count)
         self.file.retire_bucket(last)
         self.send(
             self.file.bucket_id(last),
@@ -544,11 +565,22 @@ class LHStarCoordinator(Node):
         splitter = self.n
         new_address = self.n + (1 << self.i)
         new_level = self.i + 1
+        obs_emit("lh.split", file=self.file.name, bucket=splitter,
+                 new=new_address, level=new_level)
+        metric_inc("lh.split")
+        metric_observe(
+            "lh.bucket_load",
+            len(self.file.buckets[splitter].records),
+        )
         self.file.create_bucket(new_address, new_level, pending=True)
         self.n += 1
         if self.n == (1 << self.i):
             self.i += 1
             self.n = 0
+        metric_set_gauge(f"lh.buckets.{self.file.name}",
+                         self.bucket_count)
+        metric_set_gauge(f"lh.load_factor.{self.file.name}",
+                         self._load_factor())
         self.send(
             self.file.bucket_id(splitter),
             "split",
@@ -673,6 +705,9 @@ class LHStarClient(Node):
         policy = self.file.retry_policy
         pending.attempt += 1
         if pending.attempt > policy.max_retries:
+            obs_emit("lh.retry_exhausted", file=self.file.name,
+                     kind=pending.kind, key=pending.key)
+            metric_inc("lh.retry_exhausted")
             del self._pending_keyed[op]
             self.responses[op] = {
                 "op": op,
@@ -684,6 +719,9 @@ class LHStarClient(Node):
             }
             return
         self.network.stats.retries += 1
+        obs_emit("lh.retry", file=self.file.name, kind=pending.kind,
+                 key=pending.key, attempt=pending.attempt)
+        metric_inc("lh.retry")
         self._send_keyed(op, pending.kind, pending.key, pending.content)
         self._arm_keyed_timer(op, policy.delay(pending.attempt))
 
@@ -734,6 +772,9 @@ class LHStarClient(Node):
         policy = self.file.retry_policy
         state.attempt += 1
         if state.attempt > policy.max_retries:
+            obs_emit("lh.retry_exhausted", file=self.file.name,
+                     kind="scan", op=op)
+            metric_inc("lh.retry_exhausted")
             state.failed = True
             return
         # Targeted retry: only the buckets whose coverage fraction is
@@ -742,6 +783,9 @@ class LHStarClient(Node):
         for address, level in state.expected.items():
             if address not in state.replied:
                 self.network.stats.retries += 1
+                obs_emit("lh.retry", file=self.file.name, kind="scan",
+                         bucket=address, attempt=state.attempt)
+                metric_inc("lh.retry")
                 self._send_scan(op, address, level)
         state.timer = self.network.schedule(
             policy.delay(state.attempt), lambda: self._scan_timeout(op)

@@ -1,0 +1,93 @@
+"""Introspection surface: footprint() accounting and explain() edges."""
+
+from repro.core import EncryptedSearchableStore, SchemeParameters
+from repro.core.scheme import StorageFootprint
+
+PHONEBOOK = {
+    1: "415-409-9999 SCHWARZ THOMAS",
+    2: "415-409-1234 LITWIN WITOLD",
+    3: "415-409-5678 TSUI PETER",
+}
+
+
+def make_store(**params_kwargs) -> EncryptedSearchableStore:
+    params = SchemeParameters.full(
+        4, master_key=b"introspection-key", **params_kwargs
+    )
+    return EncryptedSearchableStore(params)
+
+
+class TestFootprint:
+    def test_empty_store_is_all_zero(self):
+        footprint = make_store().footprint()
+        assert footprint == StorageFootprint(0, 0, 0)
+        assert footprint.overhead == 0.0
+
+    def test_counts_both_files(self):
+        store = make_store()
+        for rid, text in PHONEBOOK.items():
+            store.put(rid, text)
+        footprint = store.footprint()
+        assert footprint.record_bytes > 0
+        assert footprint.index_bytes > 0
+        # One index record per stored record per alignment group.
+        assert footprint.index_records > 0
+        assert footprint.overhead == (
+            footprint.index_bytes / footprint.record_bytes
+        )
+
+    def test_delete_returns_footprint_to_zero(self):
+        store = make_store()
+        for rid, text in PHONEBOOK.items():
+            store.put(rid, text)
+        for rid in PHONEBOOK:
+            assert store.delete(rid)
+        assert store.footprint() == StorageFootprint(0, 0, 0)
+
+    def test_overwrite_does_not_grow_index(self):
+        store = make_store()
+        store.put(1, PHONEBOOK[1])
+        first = store.footprint()
+        store.put(1, PHONEBOOK[1])
+        assert store.footprint() == first
+
+    def test_dispersal_multiplies_index_entries(self):
+        plain = make_store()
+        dispersed = make_store(dispersal=2)
+        for rid, text in PHONEBOOK.items():
+            plain.put(rid, text)
+            dispersed.put(rid, text)
+        assert (
+            dispersed.footprint().index_records
+            > plain.footprint().index_records
+        )
+
+    def test_overhead_is_zero_protected(self):
+        assert StorageFootprint(0, 512, 4).overhead == 0.0
+
+
+class TestExplainOutput:
+    def test_reports_symbol_count_and_scheme(self):
+        store = make_store()
+        text = store.explain("SCHWARZ")
+        assert "'SCHWARZ' (7 symbols)" in text
+        assert "scheme:" in text
+        assert store.params.describe() in text
+
+    def test_needle_payload_matches_plan(self):
+        store = make_store()
+        plan = store.pipeline.plan_query(b"SCHWARZ")
+        text = store.explain("SCHWARZ")
+        assert f"{plan.request_size()} bytes per site" in text
+
+    def test_no_dispersal_line_for_single_site(self):
+        assert "dispersal sites" not in make_store().explain("SCHWARZ")
+
+    def test_explain_sends_no_messages(self):
+        store = make_store()
+        for rid, text in PHONEBOOK.items():
+            store.put(rid, text)
+        before = store.network.stats.snapshot()
+        store.explain("SCHWARZ")
+        delta = store.network.stats.diff(before)
+        assert delta.messages == 0 and delta.bytes == 0

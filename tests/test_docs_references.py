@@ -1,0 +1,89 @@
+"""Keep the prose honest: docs must reference code that exists.
+
+Two checks over ``README.md`` and every ``docs/*.md``:
+
+* every dotted ``repro.*`` reference resolves to an importable module
+  or an attribute of one, and
+* every relative markdown link points at a file in the repository.
+
+This is what the CI ``docs`` job runs, so a rename that orphans a doc
+reference fails the build instead of rotting quietly.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+# Dotted repro paths in prose or code blocks; trailing sentence
+# punctuation is not part of the reference.
+_REFERENCE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+# [label](target) markdown links, ignoring images' extra bang.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _references(path: Path) -> set[str]:
+    return set(_REFERENCE.findall(path.read_text()))
+
+
+def _resolves(reference: str) -> bool:
+    """Import the longest module prefix, then walk attributes."""
+    parts = reference.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            target = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attribute in parts[cut:]:
+                target = getattr(target, attribute)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[path.name for path in DOC_FILES]
+)
+def test_code_references_resolve(doc):
+    broken = sorted(
+        reference for reference in _references(doc)
+        if not _resolves(reference)
+    )
+    assert not broken, (
+        f"{doc.name} references nonexistent modules/symbols: {broken}"
+    )
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[path.name for path in DOC_FILES]
+)
+def test_relative_links_exist(doc):
+    broken = []
+    for target in _LINK.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (doc.parent / relative).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name} has dead relative links: {broken}"
+
+
+def test_all_docs_present():
+    """The files this suite audits actually exist."""
+    for doc in DOC_FILES:
+        assert doc.is_file()
+    assert any(doc.name == "README.md" for doc in DOC_FILES)
