@@ -1,7 +1,9 @@
 """Exception types of the encrypted-search core."""
 
+from repro.errors import ReproError
 
-class SchemeError(Exception):
+
+class SchemeError(ReproError):
     """Base class for all scheme-level errors."""
 
 

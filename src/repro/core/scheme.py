@@ -130,6 +130,8 @@ class EncryptedSearchableStore:
         high_availability: bool = False,
         name: str = "ess",
         retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+        group_size: int = 4,
+        parity_count: int = 2,
     ) -> None:
         self.params = params
         self.pipeline = IndexPipeline(params, encoder)
@@ -140,18 +142,29 @@ class EncryptedSearchableStore:
         # "A standard SDDS such as LH* or its high-availability
         # version LH*_RS is used to store index records and the
         # records themselves" (§5) — HA applies to both files.
+        # ``group_size``/``parity_count`` shape the parity code (the
+        # paper's m and k): with HA on, up to ``parity_count`` crashed
+        # buckets per group keep every get and search answerable.
         file_type = LHStarRSFile if high_availability else LHStarFile
+        file_kwargs: dict = {}
+        if high_availability:
+            file_kwargs = {
+                "group_size": group_size,
+                "parity_count": parity_count,
+            }
         self.record_file: LHStarFile = file_type(
             name=f"{name}-store",
             network=self.network,
             bucket_capacity=bucket_capacity,
             retry_policy=retry_policy,
+            **file_kwargs,
         )
         self.index_file: LHStarFile = file_type(
             name=f"{name}-index",
             network=self.network,
             bucket_capacity=bucket_capacity,
             retry_policy=retry_policy,
+            **file_kwargs,
         )
         sites = params.dispersal
         groups = params.layout.group_count

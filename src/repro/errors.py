@@ -1,0 +1,51 @@
+"""The repro-wide exception family.
+
+Every layer used to raise its own ad-hoc errors — bare
+``RuntimeError`` from the LH* facade, a ``RetryExhaustedError`` rooted
+directly on ``RuntimeError``, a separate ``SchemeError`` tree in
+:mod:`repro.core` — so a caller driving the whole stack had no single
+base class to catch.  This module roots them all:
+
+* :class:`ReproError` — base of everything the package raises on
+  purpose.
+* :class:`SDDSError` — faults surfaced by the SDDS layer
+  (:mod:`repro.sdds`): retry budgets, unavailable buckets, rejected
+  operations.
+
+The scheme-level tree (:class:`repro.core.errors.SchemeError` and
+subclasses) also derives from :class:`ReproError`, so
+``except ReproError`` catches any deliberate failure of the stack
+while programming errors (``KeyError``, ``TypeError``) still escape.
+
+Errors that historically derived from ``RuntimeError`` keep it as a
+secondary base so existing ``except RuntimeError`` call sites continue
+to work.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error the package raises."""
+
+
+class SDDSError(ReproError):
+    """Base class for SDDS-layer (LH*/LH*_RS) failures."""
+
+
+class InsertFailedError(SDDSError, RuntimeError):
+    """A keyed insert was rejected by its home bucket.
+
+    Replaces the historic bare ``RuntimeError("insert of key ...
+    failed")``; the ``RuntimeError`` base is kept for callers that
+    still catch the old type.
+    """
+
+
+class BucketUnavailableError(SDDSError, RuntimeError):
+    """An operation needs a bucket that is dead and cannot be served.
+
+    Raised when a bucket has been declared dead by the coordinator and
+    the file has no parity to answer from (plain LH*), or when more
+    buckets of a parity group are down than the parity count covers.
+    """

@@ -17,6 +17,7 @@ bandwidth).
 
 from repro.net.faults import (
     RELIABLE_KINDS,
+    CrashFaultModel,
     FaultModel,
     RetryExhaustedError,
     RetryPolicy,
@@ -42,6 +43,7 @@ __all__ = [
     "JitterLatencyModel",
     "NetworkStats",
     "FaultModel",
+    "CrashFaultModel",
     "RetryPolicy",
     "RetryExhaustedError",
     "RELIABLE_KINDS",

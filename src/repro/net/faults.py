@@ -18,6 +18,10 @@ machinery.  This module supplies the missing adversity:
   a fault model in.
 * :class:`RetryExhaustedError` — raised by the synchronous facades
   when an operation's retry budget is spent without an answer.
+* :class:`CrashFaultModel` — a seeded MTTF/MTTR schedule of node
+  crash/restore events, applied lazily by ``Network.run`` as the
+  simulated clock advances (never ahead of the traffic), composing
+  with :class:`FaultModel` message faults.
 
 Determinism: the fault model draws from its own ``random.Random``
 seeded at construction, independent of any latency-model randomness,
@@ -29,9 +33,13 @@ plain reliable :class:`~repro.net.simulator.Network`.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import random
 from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
 
+from repro.errors import SDDSError
 from repro.net.simulator import LatencyModel, Network
 
 #: Message kinds exempt from injected faults by default: structural
@@ -47,11 +55,36 @@ RELIABLE_KINDS = frozenset({
     "overflow",
     "underflow",
     "parity_delta",
+    # Crash-fault protocol traffic (detection, recovery, degraded
+    # reads): server-to-server / client-to-coordinator control flows
+    # the availability layer treats as reliable transfers.  Crashed
+    # destinations still eat them — reliability here only exempts them
+    # from *message* faults, not from *node* faults.
+    "suspect",
+    "probe",
+    "probe_ack",
+    "await_recovery",
+    "bucket_down",
+    "bucket_up",
+    "bucket_recovered",
+    "recover",
+    "group_fetch",
+    "group_data",
+    "parity_fetch",
+    "parity_data",
+    "recover_install",
+    "recover_done",
+    "degraded_lookup",
+    "degraded_scan",
 })
 
 
-class RetryExhaustedError(RuntimeError):
-    """An operation's retry budget ran out without a delivered answer."""
+class RetryExhaustedError(SDDSError, RuntimeError):
+    """An operation's retry budget ran out without a delivered answer.
+
+    Part of the :class:`repro.errors.ReproError` family; the
+    ``RuntimeError`` base is kept for callers that predate it.
+    """
 
 
 class FaultModel:
@@ -165,3 +198,141 @@ class RetryPolicy:
     def delay(self, attempt: int) -> float:
         """Wait before retransmission number ``attempt`` (1-based)."""
         return self.timeout * self.backoff ** attempt
+
+
+class CrashFaultModel:
+    """A seeded schedule of node crash/restore events.
+
+    Each target node alternates between up-time drawn from an
+    exponential distribution with mean ``mttf`` and down-time with
+    mean ``mttr``, out to ``horizon`` simulated seconds — the classic
+    MTTF/MTTR availability model.  The schedule is planned up front
+    (:meth:`plan`) but *applied lazily*: ``Network.run`` calls
+    :meth:`advance` before processing each queued event, so crashes
+    land exactly where the workload's clock has reached.  Scheduling
+    them as network timers instead would break run-to-quiescence —
+    the first synchronous operation would drain the entire crash
+    schedule before returning.
+
+    An optional ``gate`` callable (e.g.
+    ``LHStarRSFile.crash_gate()``) lets a test or bench veto crashes
+    that would exceed what the file can survive — such as a (k+1)-th
+    failure in one parity group.  Vetoed events are counted in
+    ``skipped`` and suppress the matching restore.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mttf: float = 20.0,
+        mttr: float = 2.0,
+        horizon: float = 120.0,
+    ) -> None:
+        if mttf <= 0 or mttr <= 0:
+            raise ValueError("mttf and mttr must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.seed = seed
+        self.mttf = mttf
+        self.mttr = mttr
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+        self._sequence = itertools.count()
+        # (time, seq, action, node_id) — action is "crash"/"restore".
+        self._events: list[tuple[float, int, str, Hashable]] = []
+        # Crashes the gate vetoed: the paired restore is suppressed.
+        self._suppressed: set[Hashable] = set()
+        self.gate: Callable[[Hashable], bool] | None = None
+        self.crashes = 0
+        self.restores = 0
+        self.skipped = 0
+
+    def plan(
+        self,
+        targets: Iterable[Hashable],
+        gate: Callable[[Hashable], bool] | None = None,
+    ) -> int:
+        """Draw a crash/restore schedule for ``targets``.
+
+        Returns the number of crash events planned.  ``gate`` (kept
+        for :meth:`advance`) is consulted at *apply* time, so it sees
+        the failure pattern actually in force, not the planned one.
+        """
+        if gate is not None:
+            self.gate = gate
+        planned = 0
+        for node_id in targets:
+            at = self._rng.expovariate(1.0 / self.mttf)
+            while at < self.horizon:
+                self._push(at, "crash", node_id)
+                planned += 1
+                at += self._rng.expovariate(1.0 / self.mttr)
+                if at >= self.horizon:
+                    break
+                self._push(at, "restore", node_id)
+                at += self._rng.expovariate(1.0 / self.mttf)
+        return planned
+
+    def schedule_crash(self, at: float, node_id: Hashable) -> None:
+        """Pin a single crash event at an exact time (tests)."""
+        self._push(at, "crash", node_id)
+
+    def schedule_restore(self, at: float, node_id: Hashable) -> None:
+        """Pin a single restore event at an exact time (tests)."""
+        self._push(at, "restore", node_id)
+
+    def _push(self, at: float, action: str, node_id: Hashable) -> None:
+        heapq.heappush(
+            self._events, (at, next(self._sequence), action, node_id)
+        )
+
+    def pending(self) -> int:
+        return len(self._events)
+
+    def advance(self, network: Network, until: float) -> None:
+        """Apply every scheduled event with time <= ``until``."""
+        while self._events and self._events[0][0] <= until:
+            __, __, action, node_id = heapq.heappop(self._events)
+            if action == "crash":
+                self._apply_crash(network, node_id)
+            else:
+                self._apply_restore(network, node_id)
+
+    def _apply_crash(self, network: Network, node_id: Hashable) -> None:
+        if (
+            node_id not in network.nodes
+            or network.is_crashed(node_id)
+            or (self.gate is not None and not self.gate(node_id))
+        ):
+            self.skipped += 1
+            self._suppressed.add(node_id)
+            return
+        network.crash(node_id)
+        self.crashes += 1
+        # Imported lazily: obs.trace imports the net package, so a
+        # top-level import here would cycle during package init.
+        from repro.obs.metrics import inc as metric_inc
+        from repro.obs.trace import emit as obs_emit
+
+        obs_emit("net.crash", node=repr(node_id))
+        metric_inc("net.crash")
+
+    def _apply_restore(self, network: Network, node_id: Hashable) -> None:
+        if node_id in self._suppressed:
+            # The matching crash never happened; swallow the restore.
+            self._suppressed.discard(node_id)
+            return
+        if network.restore(node_id):
+            self.restores += 1
+            from repro.obs.metrics import inc as metric_inc
+            from repro.obs.trace import emit as obs_emit
+
+            obs_emit("net.restore", node=repr(node_id))
+            metric_inc("net.restore")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrashFaultModel(seed={self.seed}, mttf={self.mttf}, "
+            f"mttr={self.mttr}, horizon={self.horizon}, "
+            f"pending={self.pending()})"
+        )

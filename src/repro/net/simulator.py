@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable
 from repro.net.stats import NetworkStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.net.faults import FaultModel
+    from repro.net.faults import CrashFaultModel, FaultModel
 
 
 @dataclass(frozen=True)
@@ -97,15 +97,26 @@ class Timer:
     so a timer that is armed and cancelled leaves no trace in the
     simulation — protocols can arm timeout timers unconditionally at
     zero cost on the happy path.
+
+    ``owner`` names the node the timer belongs to (``None`` for
+    anonymous timers).  While the owner is crashed the timer is frozen
+    instead of fired, and it is re-armed when the owner is restored —
+    a dead host's pending timeouts do not run.
     """
 
-    __slots__ = ("when", "callback", "cancelled", "fired")
+    __slots__ = ("when", "callback", "cancelled", "fired", "owner")
 
-    def __init__(self, when: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        owner: Hashable | None = None,
+    ) -> None:
         self.when = when
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self.owner = owner
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -148,12 +159,19 @@ class Network:
         self,
         latency: LatencyModel | None = None,
         faults: "FaultModel | None" = None,
+        crashes: "CrashFaultModel | None" = None,
     ) -> None:
         self.latency = latency or LatencyModel()
         #: Optional fault injector (see :mod:`repro.net.faults`).
         #: ``None`` — and a model with zero rates — means perfectly
         #: reliable delivery, bit-identical to the historic behaviour.
         self.faults = faults
+        #: Optional crash schedule (see
+        #: :class:`repro.net.faults.CrashFaultModel`).  Consulted
+        #: lazily by :meth:`run` as the clock advances, so crash and
+        #: restore events interleave with the workload instead of
+        #: being drained up front by the first run-to-quiescence.
+        self.crashes = crashes
         #: Optional observability hook (duck-typed; see
         #: :class:`repro.obs.metrics.NetworkMetricsObserver`): called
         #: as ``on_send(kind, size)`` for every message charged to the
@@ -172,6 +190,10 @@ class Network:
         # (src, dst) link are never reordered, whatever the latency
         # model says.  Cross-link reordering remains free.
         self._link_clock: dict[tuple[Hashable, Hashable], float] = {}
+        #: Node ids currently crashed (see :meth:`crash`).
+        self._crashed: set[Hashable] = set()
+        #: Timers frozen while their owner is down, re-armed on restore.
+        self._frozen_timers: dict[Hashable, list[Timer]] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -193,9 +215,55 @@ class Network:
             link for link in self._link_clock if node_id in link
         ]:
             del self._link_clock[link]
+        # A detached node is gone for good: forget its crash flag and
+        # drop its frozen timers (their callbacks reference the dead
+        # node's state).
+        self._crashed.discard(node_id)
+        self._frozen_timers.pop(node_id, None)
 
     def __contains__(self, node_id: Hashable) -> bool:
         return node_id in self.nodes
+
+    # -- crash faults ---------------------------------------------------------
+
+    def crash(self, node_id: Hashable) -> None:
+        """Mark ``node_id`` as crashed.
+
+        The node stays attached (its identity and address survive),
+        but messages addressed to it are dropped at delivery time —
+        billed as :attr:`~repro.net.stats.NetworkStats.crashed_drops`
+        — and its pending timers are frozen until :meth:`restore`.
+        Crashing an already-crashed node is a no-op.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id!r}")
+        self._crashed.add(node_id)
+
+    def restore(self, node_id: Hashable) -> bool:
+        """Bring a crashed node back up.
+
+        Frozen timers owned by the node are re-armed, due no earlier
+        than now (a timeout that "expired" during the outage fires
+        immediately after the reboot).  Returns ``False`` when the
+        node was not crashed or no longer exists.
+        """
+        if node_id not in self._crashed:
+            return False
+        self._crashed.discard(node_id)
+        frozen = self._frozen_timers.pop(node_id, [])
+        if node_id not in self.nodes:
+            return False
+        for timer in frozen:
+            if timer.cancelled:
+                continue
+            timer.when = max(timer.when, self.now)
+            heapq.heappush(
+                self._queue, (timer.when, next(self._sequence), timer)
+            )
+        return True
+
+    def is_crashed(self, node_id: Hashable) -> bool:
+        return node_id in self._crashed
 
     # -- messaging ------------------------------------------------------------
 
@@ -269,7 +337,10 @@ class Network:
         return first
 
     def schedule(
-        self, delay: float, callback: Callable[[], None]
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        owner: Hashable | None = None,
     ) -> Timer:
         """Arm a virtual-clock timer ``delay`` seconds from now.
 
@@ -277,10 +348,12 @@ class Network:
         order with message deliveries — this is how nodes act without
         an inbound message (client retransmission timeouts).  Returns
         the :class:`Timer`; call :meth:`Timer.cancel` to disarm it.
+        ``owner`` ties the timer to a node: timers of a crashed owner
+        are frozen instead of fired (see :meth:`crash`).
         """
         if delay < 0:
             raise ValueError("timer delay must be non-negative")
-        timer = Timer(self.now + delay, callback)
+        timer = Timer(self.now + delay, callback, owner=owner)
         heapq.heappush(
             self._queue, (timer.when, next(self._sequence), timer)
         )
@@ -300,11 +373,23 @@ class Network:
                     f"network did not quiesce within {max_events} events"
                 )
             arrival, __, item = heapq.heappop(self._queue)
+            if self.crashes is not None:
+                # Apply crash/restore events scheduled before this
+                # item's time: the crash schedule advances with the
+                # traffic, never ahead of it.
+                self.crashes.advance(self, arrival)
             if isinstance(item, Timer):
                 if item.cancelled:
                     # Disarmed before firing: discard silently, without
                     # advancing the clock — the happy path stays
                     # bit-identical to a timerless run.
+                    continue
+                if item.owner is not None and item.owner in self._crashed:
+                    # The owner is down: freeze the timer; restore()
+                    # re-arms it.  No clock advance, no event charged.
+                    self._frozen_timers.setdefault(item.owner, []).append(
+                        item
+                    )
                     continue
                 self.now = max(self.now, arrival)
                 item.fired = True
@@ -312,6 +397,15 @@ class Network:
                 processed += 1
                 continue
             self.now = max(self.now, arrival)
+            if item.dst in self._crashed or item.dst not in self.nodes:
+                # Dead (or meanwhile detached) destination: the message
+                # crossed the wire and dies here.  Bill it so no
+                # recovery byte goes missing from the accounting.
+                self.stats.crashed_drops += 1
+                if self.observer is not None:
+                    self.observer.on_drop(item.kind, item.size)
+                processed += 1
+                continue
             if self.observer is not None:
                 self.observer.on_deliver(
                     item.kind, item.size, self.now - item.send_time

@@ -30,6 +30,11 @@ class NetworkStats:
     #: Client retransmissions after a timeout (each retransmitted
     #: message is also counted in ``messages``/``bytes``).
     retries: int = 0
+    #: Messages that reached a crashed (or meanwhile detached) node and
+    #: were dropped at delivery time.  Charged in ``messages``/``bytes``
+    #: like any sent message: the datagram crossed the wire and died at
+    #: the dead host's door.
+    crashed_drops: int = 0
 
     def record(self, kind: str, size: int) -> None:
         self.messages += 1
@@ -47,6 +52,7 @@ class NetworkStats:
             dropped=self.dropped,
             duplicated=self.duplicated,
             retries=self.retries,
+            crashed_drops=self.crashed_drops,
         )
 
     def diff(self, older: "NetworkStats") -> "NetworkStats":
@@ -73,6 +79,7 @@ class NetworkStats:
             dropped=self.dropped - older.dropped,
             duplicated=self.duplicated - older.duplicated,
             retries=self.retries - older.retries,
+            crashed_drops=self.crashed_drops - older.crashed_drops,
         )
 
     def delta(self, earlier: "NetworkStats") -> "NetworkStats":
@@ -87,3 +94,4 @@ class NetworkStats:
         self.dropped = 0
         self.duplicated = 0
         self.retries = 0
+        self.crashed_drops = 0

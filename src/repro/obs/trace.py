@@ -57,7 +57,14 @@ from repro.net.stats import NetworkStats
 
 #: Scalar NetworkStats fields carried per span (the per-kind censuses
 #: ride along separately as dicts).
-STAT_FIELDS = ("messages", "bytes", "dropped", "duplicated", "retries")
+STAT_FIELDS = (
+    "messages",
+    "bytes",
+    "dropped",
+    "duplicated",
+    "retries",
+    "crashed_drops",
+)
 
 
 @dataclass
@@ -378,6 +385,8 @@ def render_tree(spans: Iterable[Span]) -> str:
             cost += f", {stats.dropped} dropped"
         if stats.duplicated:
             cost += f", {stats.duplicated} dup'd"
+        if stats.crashed_drops:
+            cost += f", {stats.crashed_drops} crash-dropped"
         return f"{head}  {cost}]"
 
     def walk(span: Span, prefix: str, is_last: bool, top: bool) -> None:

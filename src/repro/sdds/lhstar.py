@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Hashable
 
+from repro.errors import BucketUnavailableError, InsertFailedError
 from repro.net.faults import RetryExhaustedError, RetryPolicy
 from repro.net.simulator import Message, Network, Node, Timer
 from repro.obs.metrics import inc as metric_inc
@@ -35,6 +36,7 @@ from repro.obs.metrics import observe as metric_observe
 from repro.obs.metrics import set_gauge as metric_set_gauge
 from repro.obs.trace import emit as obs_emit
 from repro.sdds.hashing import (
+    bucket_level,
     client_address,
     forward_address,
     image_adjust,
@@ -55,18 +57,37 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 #: still be retransmitted, which the retry budget bounds tightly.
 DEDUP_CACHE_LIMIT = 4096
 
+#: How many times one operation may exhaust a full retry budget and
+#: escalate a ``suspect`` to the coordinator before it gives up for
+#: good.  Bounds the total work of an operation against a bucket that
+#: answers probes (so is never declared dead) but whose client-path
+#: datagrams are all lost.
+MAX_ESCALATIONS = 3
+
 ScanMatcher = Callable[[Record], Any]
 
 
 @dataclass
 class _PendingKeyed:
-    """Client-side retransmission state of one keyed operation."""
+    """Client-side retransmission state of one keyed operation.
+
+    ``mode`` tracks how the operation is currently routed: ``normal``
+    (straight at the image-addressed bucket), ``suspected`` (waiting
+    for the coordinator's verdict on the bucket), ``degraded`` (a
+    lookup served through the parity layer while the home bucket is
+    dead) or ``parked`` (an update waiting for recovery to finish).
+    ``address`` is the home bucket of the latest routing decision —
+    the address a ``suspect`` report names.
+    """
 
     kind: str
     key: int
     content: bytes | None = None
     attempt: int = 0
     timer: Timer | None = None
+    mode: str = "normal"
+    escalations: int = 0
+    address: int | None = None
 
 
 @dataclass
@@ -88,6 +109,10 @@ class _ScanState:
     timer: Timer | None = None
     done: bool = False
     failed: bool = False
+    escalations: int = 0
+    #: Address of a dead, unrecoverable bucket that makes full
+    #: coverage impossible (surfaces as BucketUnavailableError).
+    unavailable: int | None = None
 
 
 class LHStarBucket(Node):
@@ -135,14 +160,31 @@ class LHStarBucket(Node):
 
     def handle(self, message: Message) -> None:
         kind = message.kind
-        if self.pending and kind != "split_records":
+        if kind == "probe":
+            # Coordinator liveness check: any bucket that can receive
+            # at all answers — pending and retired ones included (a
+            # spare under recovery is alive, just not serving yet).
+            self.send(message.src, "probe_ack",
+                      {"address": self.address}, size=HEADER_SIZE)
+            return
+        if self.pending and kind not in ("split_records",
+                                         "recover_install"):
             self._buffered.append(message)
             return
         if self.pending:
-            # The initial shipment: install it, then replay whatever
-            # overtook it, in arrival order.
+            # The initial shipment (split) or the reconstructed
+            # contents (recovery): install, then replay whatever
+            # overtook it, in arrival order.  Recovery installs skip
+            # the overflow notification — the spare holds exactly
+            # what the dead bucket held.
             self.pending = False
-            self._absorb_records(message.payload["records"])
+            self._absorb_records(
+                message.payload["records"],
+                notify_overflow=(kind == "split_records"),
+            )
+            if kind == "recover_install":
+                self.send(self.file.coordinator_id, "recover_done",
+                          {"address": self.address}, size=HEADER_SIZE)
             buffered, self._buffered = self._buffered, []
             for waiting in buffered:
                 self.handle(waiting)
@@ -204,6 +246,16 @@ class LHStarBucket(Node):
             self._handle_merge(message)
         elif kind == "merge_records":
             self._handle_merge_records(message)
+        elif kind == "recover_install":
+            # Redelivered install for a bucket that already finished
+            # recovering: absorbing again is idempotent (records
+            # overwrite by rid); re-ack so the coordinator converges.
+            self._absorb_records(message.payload["records"],
+                                 notify_overflow=False)
+            self.send(self.file.coordinator_id, "recover_done",
+                      {"address": self.address}, size=HEADER_SIZE)
+        elif kind == "group_fetch":
+            self._handle_group_fetch(message)
         else:
             raise ValueError(f"bucket {self.address}: unknown message "
                              f"kind {kind!r}")
@@ -384,6 +436,35 @@ class LHStarBucket(Node):
             size=HEADER_SIZE + sum(_hit_size(hit) for hit in hits),
         )
 
+    # -- crash recovery -------------------------------------------------------
+
+    def _handle_group_fetch(self, message: Message) -> None:
+        """Serve a parity bucket's fetch of specific record ranks.
+
+        ``entries`` maps rank -> the rid the parity bookkeeping
+        expects at that rank on this bucket.  The reply carries each
+        record's content, or empty bytes when this bucket holds no
+        such record (never stored, deleted, or migrated) — an absent
+        record *is* the zero codeword the erasure algebra expects.
+        """
+        payload = message.payload
+        entries: dict[int, bytes] = {}
+        for rank, rid in payload["entries"].items():
+            record = self.records.get(rid)
+            entries[rank] = b"" if record is None else record.content
+        self.send(
+            message.src,
+            "group_data",
+            {
+                "gather": payload["gather"],
+                "offset": payload["offset"],
+                "entries": entries,
+            },
+            size=HEADER_SIZE + sum(
+                8 + len(content) for content in entries.values()
+            ),
+        )
+
     # -- splitting ------------------------------------------------------------
 
     def _handle_split(self, message: Message) -> None:
@@ -502,6 +583,16 @@ class LHStarCoordinator(Node):
         self.file = file
         self.i = 0
         self.n = 0
+        #: Buckets declared dead after an unanswered probe:
+        #: address -> (true level at declare time, recoverable).
+        #: Splits and merges involving a dead address are gated, so
+        #: the stored level stays authoritative until recovery.
+        self.dead: dict[int, tuple[int, bool]] = {}
+        #: Dead buckets whose reconstruction is in flight.
+        self.recovering: set[int] = set()
+        self._probes: dict[int, Timer] = {}
+        #: Clients to notify when an address changes liveness state.
+        self._reporters: dict[int, set[Hashable]] = {}
 
     @property
     def bucket_count(self) -> int:
@@ -512,12 +603,25 @@ class LHStarCoordinator(Node):
         return self.file.record_count / capacity
 
     def handle(self, message: Message) -> None:
-        if message.kind == "underflow":
+        kind = message.kind
+        if kind == "underflow":
             self._maybe_merge()
             return
-        if message.kind != "overflow":
+        if kind == "suspect":
+            self._handle_suspect(message.payload)
+            return
+        if kind == "probe_ack":
+            self._handle_probe_ack(message.payload)
+            return
+        if kind == "await_recovery":
+            self._handle_await_recovery(message.payload)
+            return
+        if kind == "recover_done":
+            self._handle_recover_done(message.payload)
+            return
+        if kind != "overflow":
             raise ValueError(
-                f"coordinator: unknown message kind {message.kind!r}"
+                f"coordinator: unknown message kind {kind!r}"
             )
         if self.file.split_policy == "load_factor":
             # Gate, don't force: an overflow only earns a split when
@@ -528,6 +632,106 @@ class LHStarCoordinator(Node):
                 self._split_next()
         else:
             self._split_next()
+
+    # -- failure detection and recovery ------------------------------------
+
+    def _handle_suspect(self, payload: dict[str, Any]) -> None:
+        """A client's retry budget died against ``address``: probe it.
+
+        If the address is already declared dead with recovery in
+        flight, the reporter learns so immediately (and is kept on
+        the notify list for the recovery-finished event).  Otherwise
+        a probe round decides — including for addresses previously
+        declared dead *without* recovery (plain LH*): the node may
+        have rebooted since, and a fresh probe is the only way the
+        coordinator finds out.
+        """
+        address = payload["address"]
+        reporter = payload["client"]
+        self._reporters.setdefault(address, set()).add(reporter)
+        if address in self.dead and address in self.recovering:
+            self.send(reporter, "bucket_down",
+                      self._down_payload(address), size=HEADER_SIZE)
+            return
+        if address in self._probes:
+            return  # probe already outstanding; verdict will fan out
+        self.send(self.file.bucket_id(address), "probe",
+                  {"address": address}, size=HEADER_SIZE)
+        policy = self.file.retry_policy or DEFAULT_RETRY_POLICY
+        self._probes[address] = self.network.schedule(
+            policy.timeout,
+            lambda: self._probe_timeout(address),
+            owner=self.node_id,
+        )
+
+    def _down_payload(self, address: int) -> dict[str, Any]:
+        """The ``bucket_down`` notification for ``address``: the dead
+        members of its recovery group with their levels, so a client
+        can route degraded reads and scan coverage correctly."""
+        group_dead = {
+            member: list(self.dead[member])
+            for member in self.file.recovery_group(address)
+            if member in self.dead
+        }
+        return {"address": address, "group_dead": group_dead}
+
+    def _probe_timeout(self, address: int) -> None:
+        """No probe_ack in time: declare the bucket dead."""
+        self._probes.pop(address, None)
+        if address not in self.dead:
+            level = bucket_level(address, self.i, self.n)
+            recoverable = self.file.begin_recovery(address, level)
+            self.dead[address] = (level, recoverable)
+            if recoverable:
+                self.recovering.add(address)
+            obs_emit("lh.bucket_down", file=self.file.name,
+                     bucket=address, recoverable=recoverable)
+            metric_inc("lh.bucket_down")
+        payload = self._down_payload(address)
+        for reporter in self._reporters.get(address, ()):
+            self.send(reporter, "bucket_down", payload,
+                      size=HEADER_SIZE)
+
+    def _handle_probe_ack(self, payload: dict[str, Any]) -> None:
+        address = payload["address"]
+        timer = self._probes.pop(address, None)
+        if timer is not None:
+            timer.cancel()
+        if address in self.dead and address not in self.recovering:
+            # A dead-unrecoverable node answered: it rebooted.
+            del self.dead[address]
+            obs_emit("lh.bucket_up", file=self.file.name,
+                     bucket=address)
+            metric_inc("lh.bucket_up")
+        for reporter in self._reporters.pop(address, ()):
+            self.send(reporter, "bucket_up", {"address": address},
+                      size=HEADER_SIZE)
+
+    def _handle_await_recovery(self, payload: dict[str, Any]) -> None:
+        """A client parked an update on a dead bucket; subscribe it
+        to the recovery-finished notification (or answer at once if
+        the bucket is already back)."""
+        address = payload["address"]
+        client = payload["client"]
+        if address in self.dead:
+            self._reporters.setdefault(address, set()).add(client)
+        else:
+            self.send(client, "bucket_recovered",
+                      {"address": address}, size=HEADER_SIZE)
+
+    def _handle_recover_done(self, payload: dict[str, Any]) -> None:
+        address = payload["address"]
+        if address not in self.recovering:
+            return  # duplicate ack from a redelivered install
+        self.recovering.discard(address)
+        self.dead.pop(address, None)
+        self.file.finish_recovery(address)
+        obs_emit("lh.bucket_recovered", file=self.file.name,
+                 bucket=address)
+        metric_inc("lh.bucket_recovered")
+        for reporter in self._reporters.pop(address, ()):
+            self.send(reporter, "bucket_recovered",
+                      {"address": address}, size=HEADER_SIZE)
 
     def _maybe_merge(self) -> None:
         """Shrink by one bucket when the file runs too empty.
@@ -547,6 +751,11 @@ class LHStarCoordinator(Node):
             n = 1 << i
         last = (1 << i) + n - 1
         target = n - 1
+        if last in self.dead or target in self.dead:
+            # Never merge into or out of a dead bucket: its records
+            # are frozen until recovery, and moving the level under a
+            # declared level would corrupt degraded-read routing.
+            return
         self.i, self.n = i, n - 1
         obs_emit("lh.merge", file=self.file.name, bucket=last,
                  target=target, level=i)
@@ -565,6 +774,11 @@ class LHStarCoordinator(Node):
         splitter = self.n
         new_address = self.n + (1 << self.i)
         new_level = self.i + 1
+        if splitter in self.dead or new_address in self.dead:
+            # The split pointer reached a dead bucket (or would
+            # revive a dead tombstone): file growth stalls until the
+            # bucket recovers — the next overflow retriggers it.
+            return
         obs_emit("lh.split", file=self.file.name, bucket=splitter,
                  new=new_address, level=new_level)
         metric_inc("lh.split")
@@ -615,6 +829,10 @@ class LHStarClient(Node):
         self._pending_keyed: dict[int, _PendingKeyed] = {}
         self._scan_state: dict[int, _ScanState] = {}
         self.iam_count = 0
+        #: Addresses the coordinator reported dead:
+        #: address -> (true level, recoverable).  Entries are cleared
+        #: by ``bucket_up``/``bucket_recovered`` notifications.
+        self.dead: dict[int, tuple[int, bool]] = {}
 
     # -- message handling ----------------------------------------------------
 
@@ -663,8 +881,30 @@ class LHStarClient(Node):
                 state.done = True
                 if state.timer is not None:
                     state.timer.cancel()
+        elif kind == "bucket_down":
+            payload = message.payload
+            for member, info in payload["group_dead"].items():
+                self.dead[member] = (info[0], info[1])
+            self._redispatch(payload["address"])
+        elif kind in ("bucket_up", "bucket_recovered"):
+            address = message.payload["address"]
+            self.dead.pop(address, None)
+            self._redispatch(address)
         else:
             raise ValueError(f"client: unknown message kind {kind!r}")
+
+    def _redispatch(self, address: int) -> None:
+        """Re-route work touched by a liveness change of ``address``:
+        suspected/degraded/parked keyed operations re-resolve their
+        path, and scans still owing its coverage chase it again."""
+        for op, pending in list(self._pending_keyed.items()):
+            if pending.address == address and pending.mode != "normal":
+                self._route_keyed(op)
+        for op, state in list(self._scan_state.items()):
+            if state.done or state.failed:
+                continue
+            if address in state.expected and address not in state.replied:
+                self._scan_chase(op, address)
 
     # -- request initiation ---------------------------------------------------
 
@@ -672,20 +912,126 @@ class LHStarClient(Node):
         """Send a keyed operation using the current image; returns op id."""
         op = next(self._ops)
         policy = self.file.retry_policy
-        if policy is not None:
-            self._pending_keyed[op] = _PendingKeyed(
-                kind=kind, key=key, content=content
-            )
-        self._send_keyed(op, kind, key, content)
-        if policy is not None:
-            self._arm_keyed_timer(op, policy.timeout)
+        if policy is None:
+            self._send_keyed(op, kind, key, content)
+            return op
+        self._pending_keyed[op] = _PendingKeyed(
+            kind=kind, key=key, content=content
+        )
+        self._route_keyed(op)
         return op
 
-    def _send_keyed(
-        self, op: int, kind: str, key: int, content: bytes | None
-    ) -> None:
-        """(Re)transmit one keyed operation under the current image."""
+    def _resolve_home(self, key: int) -> int:
+        """The bucket a keyed operation should target: the image
+        address, chased through known-dead buckets using their true
+        levels (the same <= 2-hop bound as live forwarding)."""
         address = client_address(key, self.i_image, self.n_image)
+        for _ in range(2):
+            info = self.dead.get(address)
+            if info is None:
+                return address
+            target = forward_address(key, address, info[0])
+            if target is None:
+                return address
+            address = target
+        return address
+
+    def _route_keyed(self, op: int) -> None:
+        """Route one keyed operation by what the client knows of its
+        home bucket: normal path, degraded parity read (lookups), or
+        parked until recovery completes (updates)."""
+        pending = self._pending_keyed[op]
+        if pending.timer is not None:
+            pending.timer.cancel()
+            pending.timer = None
+        policy = self.file.retry_policy
+        address = self._resolve_home(pending.key)
+        pending.address = address
+        delay = (policy.delay(pending.attempt) if pending.attempt
+                 else policy.timeout)
+        info = self.dead.get(address)
+        if info is None:
+            pending.mode = "normal"
+            self._send_keyed(op, pending.kind, pending.key,
+                             pending.content, address=address)
+            self._arm_keyed_timer(op, delay)
+            return
+        level, recoverable = info
+        if not recoverable:
+            # No parity to serve or rebuild the bucket.  Ask the
+            # coordinator to re-probe a few times — the node may have
+            # rebooted since it was declared dead — then fail with a
+            # typed error instead of burning retry budgets forever.
+            if pending.escalations < MAX_ESCALATIONS:
+                pending.escalations += 1
+                pending.mode = "suspected"
+                obs_emit("lh.suspect", file=self.file.name,
+                         bucket=address, kind=pending.kind)
+                metric_inc("lh.suspect")
+                self.send(self.file.coordinator_id, "suspect",
+                          {"address": address, "client": self.node_id},
+                          size=HEADER_SIZE)
+                return
+            del self._pending_keyed[op]
+            self.responses[op] = {
+                "op": op,
+                "ok": False,
+                "error": (
+                    f"{pending.kind} of key {pending.key}: bucket "
+                    f"{address} is down and the file has no parity "
+                    "to serve or recover it"
+                ),
+                "error_kind": "unavailable",
+            }
+            return
+        if pending.kind == "lookup":
+            pending.mode = "degraded"
+            self._send_degraded_lookup(op, pending, address)
+            self._arm_keyed_timer(op, delay)
+            return
+        # Updates cannot touch state that is being reconstructed:
+        # park until the coordinator announces the spare online.
+        pending.mode = "parked"
+        self.send(self.file.coordinator_id, "await_recovery",
+                  {"address": address, "client": self.node_id},
+                  size=HEADER_SIZE)
+
+    def _send_degraded_lookup(
+        self, op: int, pending: _PendingKeyed, address: int
+    ) -> None:
+        """Ask the parity layer to serve a lookup for a dead bucket."""
+        obs_emit("lh.degraded_lookup", file=self.file.name,
+                 key=pending.key, bucket=address)
+        metric_inc("lh.degraded_lookup")
+        self.send(
+            self.file.degraded_read_target(address),
+            "degraded_lookup",
+            {
+                "op": op,
+                "client": self.node_id,
+                "key": pending.key,
+                "address": address,
+                "dead": self.file.degraded_dead_set(address, self.dead),
+            },
+            size=HEADER_SIZE,
+        )
+
+    def _send_keyed(
+        self,
+        op: int,
+        kind: str,
+        key: int,
+        content: bytes | None,
+        address: int | None = None,
+    ) -> None:
+        """(Re)transmit one keyed operation under the current image.
+
+        ``address`` overrides the image address when the routing layer
+        already chased the key past known-dead buckets — a dead bucket
+        cannot forward, so the client must aim past it itself.
+        """
+        if address is None:
+            address = client_address(key, self.i_image, self.n_image)
         payload: dict[str, Any] = {"key": key, "op": op, "client": self.node_id}
         size = HEADER_SIZE
         if kind == "insert":
@@ -695,7 +1041,7 @@ class LHStarClient(Node):
 
     def _arm_keyed_timer(self, op: int, delay: float) -> None:
         self._pending_keyed[op].timer = self.network.schedule(
-            delay, lambda: self._keyed_timeout(op)
+            delay, lambda: self._keyed_timeout(op), owner=self.node_id
         )
 
     def _keyed_timeout(self, op: int) -> None:
@@ -705,25 +1051,40 @@ class LHStarClient(Node):
         policy = self.file.retry_policy
         pending.attempt += 1
         if pending.attempt > policy.max_retries:
-            obs_emit("lh.retry_exhausted", file=self.file.name,
-                     kind=pending.kind, key=pending.key)
-            metric_inc("lh.retry_exhausted")
-            del self._pending_keyed[op]
-            self.responses[op] = {
-                "op": op,
-                "ok": False,
-                "error": (
-                    f"{pending.kind} of key {pending.key} got no reply "
-                    f"after {policy.max_retries} retries"
-                ),
-            }
+            if pending.escalations >= MAX_ESCALATIONS:
+                obs_emit("lh.retry_exhausted", file=self.file.name,
+                         kind=pending.kind, key=pending.key)
+                metric_inc("lh.retry_exhausted")
+                del self._pending_keyed[op]
+                self.responses[op] = {
+                    "op": op,
+                    "ok": False,
+                    "error": (
+                        f"{pending.kind} of key {pending.key} got no "
+                        f"reply after {policy.max_retries} retries"
+                    ),
+                }
+                return
+            # A whole retry budget went unanswered: stop shouting at
+            # the bucket and ask the coordinator whether it is alive.
+            # No timer — the coordinator always answers (bucket_up or
+            # bucket_down), and either re-routes this operation.
+            pending.escalations += 1
+            pending.attempt = 0
+            pending.mode = "suspected"
+            obs_emit("lh.suspect", file=self.file.name,
+                     bucket=pending.address, kind=pending.kind)
+            metric_inc("lh.suspect")
+            self.send(self.file.coordinator_id, "suspect",
+                      {"address": pending.address,
+                       "client": self.node_id},
+                      size=HEADER_SIZE)
             return
         self.network.stats.retries += 1
         obs_emit("lh.retry", file=self.file.name, kind=pending.kind,
                  key=pending.key, attempt=pending.attempt)
         metric_inc("lh.retry")
-        self._send_keyed(op, pending.kind, pending.key, pending.content)
-        self._arm_keyed_timer(op, policy.delay(pending.attempt))
+        self._route_keyed(op)
 
     def start_scan(self, matcher: ScanMatcher, request_size: int = HEADER_SIZE) -> int:
         """Broadcast a scan to every bucket in the image; returns op id."""
@@ -742,12 +1103,16 @@ class LHStarClient(Node):
             expected=dict(expected),
         )
         self._scan_state[op] = state
-        for address, level in expected.items():
-            self._send_scan(op, address, level)
         policy = self.file.retry_policy
-        if policy is not None:
+        for address, level in expected.items():
+            if policy is not None and address in self.dead:
+                self._scan_chase(op, address)
+            else:
+                self._send_scan(op, address, level)
+        if policy is not None and not state.failed:
             state.timer = self.network.schedule(
-                policy.timeout, lambda: self._scan_timeout(op)
+                policy.timeout, lambda: self._scan_timeout(op),
+                owner=self.node_id,
             )
         return op
 
@@ -765,30 +1130,118 @@ class LHStarClient(Node):
             size=state.request_size,
         )
 
+    def _scan_chase(self, op: int, address: int) -> None:
+        """(Re)request one bucket's missing coverage, routing around
+        a known-dead address through the parity layer."""
+        state = self._scan_state[op]
+        info = self.dead.get(address)
+        if info is None:
+            self._send_scan(op, address, state.expected[address])
+            return
+        level, recoverable = info
+        if not recoverable:
+            # The bucket's key range is gone until a reboot: re-probe
+            # through the coordinator a few times, then fail the scan
+            # with a diagnosis instead of spinning on retries.
+            if state.escalations < MAX_ESCALATIONS:
+                state.escalations += 1
+                obs_emit("lh.suspect", file=self.file.name,
+                         bucket=address, kind="scan")
+                metric_inc("lh.suspect")
+                self.send(self.file.coordinator_id, "suspect",
+                          {"address": address, "client": self.node_id},
+                          size=HEADER_SIZE)
+                return
+            state.failed = True
+            state.unavailable = address
+            if state.timer is not None:
+                state.timer.cancel()
+            return
+        self._scan_cover_dead(op, address, level)
+
+    def _scan_cover_dead(
+        self, op: int, address: int, true_level: int
+    ) -> None:
+        """Cover a dead bucket's presumed range: fan out to the
+        children its live instance would have forwarded to, and ask
+        the parity layer to reconstruct-and-scan the bucket's own
+        records at its true level.  The coverage fractions still sum
+        to 1 — the dead bucket's 2^-presumed weight is split exactly
+        as a live forward chain would split it."""
+        state = self._scan_state[op]
+        presumed = state.expected.get(address, true_level)
+        level = presumed
+        while level < true_level:
+            child = address + (1 << level)
+            level += 1
+            if child not in state.expected:
+                state.expected[child] = level
+                self._scan_chase(op, child)
+        state.expected[address] = true_level
+        obs_emit("lh.degraded_scan", file=self.file.name,
+                 bucket=address, level=true_level)
+        metric_inc("lh.degraded_scan")
+        self.send(
+            self.file.degraded_read_target(address),
+            "degraded_scan",
+            {
+                "op": op,
+                "client": self.node_id,
+                "matcher": state.matcher,
+                "address": address,
+                "level": true_level,
+                "dead": self.file.degraded_dead_set(address, self.dead),
+            },
+            size=state.request_size,
+        )
+
     def _scan_timeout(self, op: int) -> None:
         state = self._scan_state.get(op)
-        if state is None or state.done:
+        if state is None or state.done or state.failed:
             return
         policy = self.file.retry_policy
         state.attempt += 1
+        missing = [
+            address for address in state.expected
+            if address not in state.replied
+        ]
         if state.attempt > policy.max_retries:
-            obs_emit("lh.retry_exhausted", file=self.file.name,
-                     kind="scan", op=op)
-            metric_inc("lh.retry_exhausted")
-            state.failed = True
-            return
-        # Targeted retry: only the buckets whose coverage fraction is
-        # still missing, at the presumed level recorded for each —
-        # never a re-broadcast of the whole scan round.
-        for address, level in state.expected.items():
-            if address not in state.replied:
+            if state.escalations >= MAX_ESCALATIONS:
+                obs_emit("lh.retry_exhausted", file=self.file.name,
+                         kind="scan", op=op)
+                metric_inc("lh.retry_exhausted")
+                state.failed = True
+                return
+            # A full retry budget spent: suspect every bucket still
+            # owing coverage; the coordinator's verdicts re-route.
+            state.escalations += 1
+            state.attempt = 0
+            for address in missing:
+                if address in self.dead:
+                    self._scan_chase(op, address)
+                else:
+                    obs_emit("lh.suspect", file=self.file.name,
+                             bucket=address, kind="scan")
+                    metric_inc("lh.suspect")
+                    self.send(self.file.coordinator_id, "suspect",
+                              {"address": address,
+                               "client": self.node_id},
+                              size=HEADER_SIZE)
+        else:
+            # Targeted retry: only the buckets whose coverage
+            # fraction is still missing — never a re-broadcast.
+            for address in missing:
                 self.network.stats.retries += 1
                 obs_emit("lh.retry", file=self.file.name, kind="scan",
                          bucket=address, attempt=state.attempt)
                 metric_inc("lh.retry")
-                self._send_scan(op, address, level)
+                self._scan_chase(op, address)
+        if state.failed or state.done:
+            return
         state.timer = self.network.schedule(
-            policy.delay(state.attempt), lambda: self._scan_timeout(op)
+            policy.delay(state.attempt),
+            lambda: self._scan_timeout(op),
+            owner=self.node_id,
         )
 
     def take_reply(self, op: int) -> dict[str, Any]:
@@ -798,6 +1251,8 @@ class LHStarClient(Node):
         except KeyError:
             raise RuntimeError(f"no reply delivered for op {op}") from None
         if reply.get("error"):
+            if reply.get("error_kind") == "unavailable":
+                raise BucketUnavailableError(reply["error"])
             raise RetryExhaustedError(reply["error"])
         return reply
 
@@ -807,6 +1262,12 @@ class LHStarClient(Node):
         coverage = self._scan_coverage.pop(op)
         hits = self._scan_hits.pop(op)
         if state is not None and state.failed:
+            if state.unavailable is not None:
+                raise BucketUnavailableError(
+                    f"scan cannot complete: bucket {state.unavailable} "
+                    "is down and the file has no parity to reconstruct "
+                    "its records"
+                )
             raise RetryExhaustedError(
                 f"scan abandoned at coverage {coverage} after "
                 f"{state.attempt - 1} retry rounds"
@@ -939,6 +1400,58 @@ class LHStarFile:
     def on_move(self, old: int, new: int, record: Record) -> None:
         """A record migrated during a split; parity layers react here."""
 
+    # -- crash-recovery hooks (overridden by LH*_RS) ---------------------------
+
+    def begin_recovery(self, address: int, level: int) -> bool:
+        """Coordinator callback when ``address`` is declared dead.
+
+        Returns whether the file can reconstruct the bucket's records
+        (and serve degraded reads meanwhile).  Plain LH* has no
+        parity: the data is unavailable until the node reboots.
+        """
+        return False
+
+    def finish_recovery(self, address: int) -> None:
+        """Coordinator callback when the spare reports itself
+        installed (parity layers close their recovery span here)."""
+
+    def recovery_group(self, address: int) -> list[int]:
+        """The addresses whose failures interact with ``address``'s —
+        the bucket group of the parity layer; just the bucket itself
+        in plain LH*."""
+        return [address]
+
+    def degraded_read_target(self, address: int) -> Hashable | None:
+        """The node serving degraded reads for dead ``address``
+        (the group's first parity bucket in LH*_RS; none here)."""
+        return None
+
+    def degraded_dead_set(
+        self, address: int, dead: dict[int, tuple[int, bool]]
+    ) -> list[int]:
+        """The dead addresses a degraded read of ``address`` must
+        solve around (its down group members, in the parity layer)."""
+        return [address]
+
+    def spawn_spare(self, address: int, level: int) -> LHStarBucket:
+        """Replace a dead bucket's node with a fresh *pending* spare.
+
+        The spare takes over the network identity — in-flight and
+        future messages reach it and are buffered — and waits for the
+        reconstructed records to arrive as a ``recover_install``
+        shipment, exactly like a split target waits for its initial
+        ``split_records``.
+        """
+        old = self.buckets[address]
+        if old.node_id in self.network:
+            self.network.detach(old.node_id)
+        spare = LHStarBucket(self, address, level, pending=True)
+        spare.retired = old.retired
+        spare.merge_target = old.merge_target
+        self.buckets[address] = spare
+        self.network.attach(spare)
+        return spare
+
     # -- synchronous operations ----------------------------------------------
 
     def insert(self, key: int, content: bytes, client: LHStarClient | None = None) -> None:
@@ -947,7 +1460,7 @@ class LHStarFile:
         self.network.run()
         reply = client.take_reply(op)
         if not reply["ok"]:
-            raise RuntimeError(f"insert of key {key} failed")
+            raise InsertFailedError(f"insert of key {key} failed")
 
     def lookup(self, key: int, client: LHStarClient | None = None) -> bytes | None:
         client = client or self.client

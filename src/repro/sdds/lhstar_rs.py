@@ -26,12 +26,25 @@ reconstruction bit-for-bit against the live buckets.
 from __future__ import annotations
 
 import heapq
-from typing import Hashable
+import itertools
+from collections import OrderedDict
+from typing import Any, Hashable
 
+from repro.errors import BucketUnavailableError
 from repro.gf import GF2, Matrix, cauchy_matrix
 from repro.net.simulator import Message, Network, Node
-from repro.sdds.lhstar import HEADER_SIZE, LHStarFile
-from repro.sdds.records import Record
+from repro.obs.metrics import inc as metric_inc
+from repro.obs.trace import emit as obs_emit
+from repro.obs.trace import span as obs_span
+from repro.sdds.lhstar import (
+    DEDUP_CACHE_LIMIT,
+    DEFAULT_RETRY_POLICY,
+    HEADER_SIZE,
+    MAX_ESCALATIONS,
+    LHStarFile,
+    _hit_size,
+)
+from repro.sdds.records import RECORD_OVERHEAD, Record
 
 _FIELD = GF2(8)
 
@@ -84,8 +97,54 @@ class _ParitySlot:
         self.lengths: list[int] = [0] * m
 
 
+class _ParityGather:
+    """One in-flight message-based reconstruction at a parity bucket.
+
+    Snapshots the parity metadata (rids and lengths per rank) at
+    start, then collects the survivors' record contents
+    (``group_data``) and the sibling parity payloads
+    (``parity_data``) until every fetch is answered; the initiating
+    request is replayed from ``request`` at completion.
+    """
+
+    __slots__ = ("kind", "request", "dead_offsets", "target_offset",
+                 "ranks", "meta", "expected", "contents", "payloads",
+                 "waiting_offsets", "waiting_parity", "timer",
+                 "escalations")
+
+    def __init__(
+        self,
+        kind: str,
+        request: dict[str, Any],
+        dead_offsets: list[int],
+        target_offset: int,
+        ranks: list[int],
+        meta: dict[int, tuple[tuple[int | None, ...], tuple[int, ...]]],
+    ) -> None:
+        self.kind = kind
+        self.request = request
+        self.dead_offsets = dead_offsets
+        self.target_offset = target_offset
+        self.ranks = ranks
+        self.meta = meta
+        self.expected = 0
+        #: Surviving data contents: offset -> {rank: bytes}.
+        self.contents: dict[int, dict[int, bytes]] = {}
+        #: Parity payloads: parity index -> {rank: bytes}.
+        self.payloads: dict[int, dict[int, bytes]] = {}
+        #: Sources still owing an answer: data-bucket offsets
+        #: (``group_data``) and parity indexes (``parity_data``).
+        self.waiting_offsets: set[int] = set()
+        self.waiting_parity: set[int] = set()
+        #: Liveness timer: a survivor that crashed after the fetch
+        #: went out would otherwise wedge the gather forever.
+        self.timer: Any = None
+        self.escalations = 0
+
+
 class ParityBucket(Node):
-    """One parity bucket: applies delta updates, serves recovery reads."""
+    """One parity bucket: applies delta updates, serves degraded
+    reads and drives message-based recovery gathers."""
 
     def __init__(
         self, file: "LHStarRSFile", group: int, index: int
@@ -95,12 +154,37 @@ class ParityBucket(Node):
         self.group = group
         self.index = index
         self.slots: dict[int, _ParitySlot] = {}
+        self._gathers: dict[int, _ParityGather] = {}
+        self._gather_ids = itertools.count()
+        # Degraded-read idempotence under client retransmission:
+        # request id -> finished reply, replayed verbatim; plus the
+        # set of requests whose gather is still in flight (duplicates
+        # are absorbed — the reply is already on its way).
+        self._reply_cache: OrderedDict[
+            tuple[Hashable, int, int], tuple[str, dict[str, Any], int]
+        ] = OrderedDict()
+        self._inflight: set[tuple[Hashable, int, int]] = set()
 
     def handle(self, message: Message) -> None:
-        if message.kind != "parity_delta":
+        kind = message.kind
+        if kind == "parity_delta":
+            self._handle_delta(message)
+        elif kind in ("degraded_lookup", "degraded_scan"):
+            self._handle_degraded(message)
+        elif kind == "recover":
+            self._start_gather(kind, message.payload)
+        elif kind == "parity_fetch":
+            self._handle_parity_fetch(message)
+        elif kind in ("group_data", "parity_data"):
+            self._handle_gather_data(message)
+        elif kind in ("bucket_down", "bucket_up", "bucket_recovered"):
+            self._handle_liveness(kind, message.payload)
+        else:
             raise ValueError(
-                f"parity bucket: unknown message kind {message.kind!r}"
+                f"parity bucket: unknown message kind {kind!r}"
             )
+
+    def _handle_delta(self, message: Message) -> None:
         payload = message.payload
         rank = payload["rank"]
         offset = payload["offset"]      # data bucket position in the group
@@ -115,6 +199,372 @@ class ParityBucket(Node):
 
     def slot_view(self, rank: int) -> _ParitySlot | None:
         return self.slots.get(rank)
+
+    # -- degraded reads and recovery gathers ---------------------------------
+
+    def _request_id(
+        self, payload: dict[str, Any]
+    ) -> tuple[Hashable, int, int]:
+        return (payload["client"], payload["op"], payload["address"])
+
+    def _handle_degraded(self, message: Message) -> None:
+        request = self._request_id(message.payload)
+        cached = self._reply_cache.get(request)
+        if cached is not None:
+            obs_emit("lh.dedup_replay", file=self.file.name,
+                     kind=message.kind, group=self.group,
+                     op=message.payload["op"])
+            metric_inc("lh.dedup_replay")
+            kind, reply, size = cached
+            self.send(message.payload["client"], kind, reply, size=size)
+            return
+        if request in self._inflight:
+            return  # gather already running; its reply is coming
+        self._inflight.add(request)
+        self._start_gather(message.kind, message.payload)
+
+    def _start_gather(self, kind: str, payload: dict[str, Any]) -> None:
+        """Begin reconstructing the dead target bucket's records.
+
+        Everything happens via messages: ``group_fetch`` to each
+        surviving data bucket for the ranks it contributes to, and
+        ``parity_fetch`` to the sibling parity buckets whose payloads
+        the erasure system needs.  Nothing here reads another node's
+        record store directly.
+        """
+        dead_offsets = sorted({
+            self.file.offset_of(a) for a in payload["dead"]
+        })
+        if len(dead_offsets) > self.file.parity_count:
+            raise ValueError(
+                f"group {self.group}: {len(dead_offsets)} erasures "
+                f"exceed parity count {self.file.parity_count}"
+            )
+        target_offset = self.file.offset_of(payload["address"])
+        if kind == "degraded_lookup":
+            key = payload["key"]
+            rank = next(
+                (r for r, slot in self.slots.items()
+                 if slot.rids[target_offset] == key),
+                None,
+            )
+            if rank is None:
+                # The parity metadata knows every live record of the
+                # group: no rank means the key does not exist there.
+                self._finish_lookup(payload, None)
+                return
+            ranks = [rank]
+        else:
+            ranks = sorted(
+                r for r, slot in self.slots.items()
+                if slot.rids[target_offset] is not None
+            )
+            if not ranks:
+                self._complete_empty(kind, payload)
+                return
+        meta = {
+            r: (tuple(self.slots[r].rids), tuple(self.slots[r].lengths))
+            for r in ranks
+        }
+        gather = _ParityGather(kind, payload, dead_offsets,
+                               target_offset, ranks, meta)
+        gid = next(self._gather_ids)
+        gather.payloads[self.index] = {
+            r: self.slots[r].payload for r in ranks
+        }
+        group_base = self.group * self.file.group_size
+        for offset in range(self.file.group_size):
+            if offset in dead_offsets:
+                continue
+            address = group_base + offset
+            if address not in self.file.buckets:
+                continue
+            entries = {
+                r: meta[r][0][offset] for r in ranks
+                if meta[r][0][offset] is not None
+            }
+            if not entries:
+                continue
+            gather.expected += 1
+            gather.waiting_offsets.add(offset)
+            self.send(
+                self.file.bucket_id(address),
+                "group_fetch",
+                {"gather": gid, "offset": offset, "entries": entries},
+                size=HEADER_SIZE + 8 * len(entries),
+            )
+        for index in range(len(dead_offsets)):
+            if index == self.index:
+                continue
+            gather.expected += 1
+            gather.waiting_parity.add(index)
+            self.send(
+                self.file.parity_id(self.group, index),
+                "parity_fetch",
+                {"gather": gid, "ranks": ranks},
+                size=HEADER_SIZE + 8 * len(ranks),
+            )
+        if gather.expected == 0:
+            self._complete(gather)
+        else:
+            self._gathers[gid] = gather
+            self._arm_gather_timer(gid, gather)
+
+    def _arm_gather_timer(self, gid: int, gather: _ParityGather) -> None:
+        policy = self.file.retry_policy or DEFAULT_RETRY_POLICY
+        gather.timer = self.network.schedule(
+            policy.delay(gather.escalations),
+            lambda: self._gather_timeout(gid),
+            owner=self.node_id,
+        )
+
+    def _gather_timeout(self, gid: int) -> None:
+        """A fetch went unanswered: a survivor may have crashed after
+        the gather started.  Escalate the silent data buckets to the
+        coordinator (it probes, declares, and tells us via
+        ``bucket_down``/``bucket_up``) and re-poke silent parity
+        siblings; give up after the escalation budget so a genuinely
+        unrecoverable gather fails loudly instead of leaking."""
+        gather = self._gathers.get(gid)
+        if gather is None:
+            return
+        gather.escalations += 1
+        if gather.escalations > MAX_ESCALATIONS:
+            self._drop_gather(gid, gather)
+            obs_emit("lh.gather_abandoned", file=self.file.name,
+                     group=self.group, kind=gather.kind)
+            metric_inc("lh.gather_abandoned")
+            return
+        group_base = self.group * self.file.group_size
+        for offset in sorted(gather.waiting_offsets):
+            self.send(
+                self.file.coordinator_id,
+                "suspect",
+                {"address": group_base + offset,
+                 "client": self.node_id},
+                size=HEADER_SIZE,
+            )
+        for index in sorted(gather.waiting_parity):
+            self.send(
+                self.file.parity_id(self.group, index),
+                "parity_fetch",
+                {"gather": gid, "ranks": gather.ranks},
+                size=HEADER_SIZE + 8 * len(gather.ranks),
+            )
+        self._arm_gather_timer(gid, gather)
+
+    def _handle_liveness(
+        self, kind: str, payload: dict[str, Any]
+    ) -> None:
+        """Coordinator verdict on a survivor we suspected: restart
+        every gather stalled on it — with an enlarged dead set when
+        the survivor is confirmed dead, or simply re-fetching when it
+        is alive again (rebooted or recovered)."""
+        address = payload["address"]
+        offset = self.file.offset_of(address)
+        for gid in list(self._gathers):
+            gather = self._gathers.get(gid)
+            if gather is None or offset not in gather.waiting_offsets:
+                continue
+            request = dict(gather.request)
+            if kind == "bucket_down":
+                dead = set(request["dead"]) | {address}
+                dead.update(payload.get("group_dead", {}))
+                erased = {self.file.offset_of(a) for a in dead}
+                if len(erased) > self.file.parity_count:
+                    # More erasures than the code can solve: drop the
+                    # gather; the requester's own retries will surface
+                    # a typed error once escalation runs out.
+                    self._drop_gather(gid, gather)
+                    continue
+                request["dead"] = sorted(dead)
+            del self._gathers[gid]
+            if gather.timer is not None:
+                gather.timer.cancel()
+            self._start_gather(gather.kind, request)
+
+    def _drop_gather(self, gid: int, gather: _ParityGather) -> None:
+        del self._gathers[gid]
+        if gather.timer is not None:
+            gather.timer.cancel()
+        if gather.kind != "recover":
+            self._inflight.discard(self._request_id(gather.request))
+
+    def _handle_parity_fetch(self, message: Message) -> None:
+        payload = message.payload
+        payloads = {}
+        for rank in payload["ranks"]:
+            slot = self.slots.get(rank)
+            payloads[rank] = b"" if slot is None else slot.payload
+        self.send(
+            message.src,
+            "parity_data",
+            {
+                "gather": payload["gather"],
+                "index": self.index,
+                "payloads": payloads,
+            },
+            size=HEADER_SIZE + sum(
+                8 + len(data) for data in payloads.values()
+            ),
+        )
+
+    def _handle_gather_data(self, message: Message) -> None:
+        payload = message.payload
+        gather = self._gathers.get(payload["gather"])
+        if gather is None:
+            return  # late data for a gather already solved
+        if message.kind == "group_data":
+            if payload["offset"] not in gather.waiting_offsets:
+                return  # duplicate answer (re-poked source)
+            gather.waiting_offsets.discard(payload["offset"])
+            gather.contents[payload["offset"]] = payload["entries"]
+        else:
+            if payload["index"] not in gather.waiting_parity:
+                return  # duplicate answer (re-poked source)
+            gather.waiting_parity.discard(payload["index"])
+            gather.payloads[payload["index"]] = payload["payloads"]
+        gather.expected -= 1
+        if gather.expected == 0:
+            del self._gathers[payload["gather"]]
+            if gather.timer is not None:
+                gather.timer.cancel()
+            self._complete(gather)
+
+    def _solve(self, gather: _ParityGather) -> dict[int, bytes]:
+        """Solve the erasure system from the gathered survivor and
+        parity data: rank -> reconstructed content of the target
+        offset (same Cauchy algebra as the offline helper)."""
+        generator = self.file.generator
+        dead = gather.dead_offsets
+        nerased = len(dead)
+        system = Matrix(
+            _FIELD,
+            [
+                [generator.rows[p][offset] for offset in dead]
+                for p in range(nerased)
+            ],
+        )
+        solver = system.inverse()
+        column = dead.index(gather.target_offset)
+        recovered: dict[int, bytes] = {}
+        for rank in gather.ranks:
+            rids, lengths = gather.meta[rank]
+            if rids[gather.target_offset] is None:
+                continue
+            rhs: list[bytes] = []
+            for p in range(nerased):
+                acc = gather.payloads.get(p, {}).get(rank, b"")
+                for offset, entries in gather.contents.items():
+                    content = entries.get(rank, b"")
+                    if content:
+                        acc = _xor(
+                            acc,
+                            _scale(generator.rows[p][offset], content),
+                        )
+                rhs.append(acc)
+            width = max((len(b) for b in rhs), default=0)
+            rhs = [b + bytes(width - len(b)) for b in rhs]
+            content = bytes(width)
+            for p in range(nerased):
+                content = _xor(
+                    content, _scale(solver.rows[column][p], rhs[p])
+                )
+            recovered[rank] = content[:lengths[gather.target_offset]]
+        return recovered
+
+    def _complete(self, gather: _ParityGather) -> None:
+        recovered = self._solve(gather)
+        request = gather.request
+        if gather.kind == "degraded_lookup":
+            content = recovered.get(gather.ranks[0])
+            self._finish_lookup(request, content)
+        elif gather.kind == "degraded_scan":
+            records = [
+                Record(gather.meta[rank][0][gather.target_offset],
+                       content)
+                for rank, content in sorted(recovered.items())
+            ]
+            self._finish_scan(request, records)
+        else:
+            records = [
+                Record(gather.meta[rank][0][gather.target_offset],
+                       content)
+                for rank, content in sorted(recovered.items())
+            ]
+            self._install(request, records)
+
+    def _complete_empty(self, kind: str, payload: dict[str, Any]) -> None:
+        """The dead bucket held no records: short-circuit."""
+        if kind == "degraded_scan":
+            self._finish_scan(payload, [])
+        else:
+            self._install(payload, [])
+
+    def _reply(
+        self,
+        payload: dict[str, Any],
+        kind: str,
+        reply: dict[str, Any],
+        size: int,
+    ) -> None:
+        request = self._request_id(payload)
+        self._inflight.discard(request)
+        self._reply_cache[request] = (kind, reply, size)
+        while len(self._reply_cache) > DEDUP_CACHE_LIMIT:
+            self._reply_cache.popitem(last=False)
+        self.send(payload["client"], kind, reply, size=size)
+
+    def _finish_lookup(
+        self, payload: dict[str, Any], content: bytes | None
+    ) -> None:
+        self._reply(
+            payload,
+            "reply",
+            {
+                "op": payload["op"],
+                "ok": content is not None,
+                "content": content,
+                "degraded": True,
+            },
+            HEADER_SIZE + (
+                0 if content is None else RECORD_OVERHEAD + len(content)
+            ),
+        )
+
+    def _finish_scan(
+        self, payload: dict[str, Any], records: list[Record]
+    ) -> None:
+        matcher = payload["matcher"]
+        hits = []
+        for record in records:
+            outcome = matcher(record)
+            if outcome is not None:
+                hits.append(outcome)
+        self._reply(
+            payload,
+            "scan_reply",
+            {
+                "op": payload["op"],
+                "address": payload["address"],
+                "level": payload["level"],
+                "hits": hits,
+                "forwarded": [],
+                "degraded": True,
+            },
+            HEADER_SIZE + sum(_hit_size(hit) for hit in hits),
+        )
+
+    def _install(
+        self, payload: dict[str, Any], records: list[Record]
+    ) -> None:
+        """Ship the reconstructed records to the pending spare."""
+        self.send(
+            self.file.bucket_id(payload["address"]),
+            "recover_install",
+            {"records": records},
+            size=HEADER_SIZE + sum(r.wire_size for r in records),
+        )
 
 
 class LHStarRSFile(LHStarFile):
@@ -151,6 +601,8 @@ class LHStarRSFile(LHStarFile):
         self._ranks: dict[int, dict[int, int]] = {}
         self._free_ranks: dict[int, list[int]] = {}
         self._next_rank: dict[int, int] = {}
+        # Open lh.recover spans, one per bucket under reconstruction.
+        self._recovery_spans: dict[int, Any] = {}
         super().__init__(name=name, network=network,
                          bucket_capacity=bucket_capacity,
                          **file_options)
@@ -250,6 +702,98 @@ class LHStarRSFile(LHStarFile):
         new_rank = self._assign_rank(new, record.rid)
         self._send_delta(new, new_rank, record.rid, record.content,
                          len(record.content))
+
+    # -- online crash recovery (LHStarFile hooks) -----------------------------
+
+    def recovery_group(self, address: int) -> list[int]:
+        base = self.group_of(address) * self.group_size
+        return [
+            base + offset for offset in range(self.group_size)
+            if (base + offset) in self.buckets
+        ]
+
+    def degraded_read_target(self, address: int) -> Hashable:
+        return self.parity_id(self.group_of(address), 0)
+
+    def degraded_dead_set(
+        self, address: int, dead: dict[int, tuple[int, bool]]
+    ) -> list[int]:
+        members = self.recovery_group(address)
+        return sorted({m for m in members if m in dead} | {address})
+
+    def begin_recovery(self, address: int, level: int) -> bool:
+        """Launch the online reconstruction of a dead bucket.
+
+        Spawns a pending spare under the dead bucket's network
+        identity and asks the group's first parity bucket to gather
+        survivor contents and sibling parity payloads, solve the
+        erasure system, and ship the result as ``recover_install``.
+        Returns False — unrecoverable — when the group already has
+        more failures than parity.
+        """
+        dead = self.degraded_dead_set(address, self.coordinator.dead)
+        if len(dead) > self.parity_count:
+            obs_emit("lh.recover_refused", file=self.name,
+                     bucket=address, dead=dead)
+            return False
+        group = self.group_of(address)
+        span = obs_span("lh.recover", network=self.network,
+                        file=self.name, bucket=address, group=group)
+        span.__enter__()
+        self._recovery_spans[address] = span
+        metric_inc("lh.recover")
+        self.spawn_spare(address, level)
+        self.network.send(
+            self.coordinator_id,
+            self.parity_id(group, 0),
+            "recover",
+            {"address": address, "dead": dead},
+            size=HEADER_SIZE,
+        )
+        return True
+
+    def finish_recovery(self, address: int) -> None:
+        span = self._recovery_spans.pop(address, None)
+        if span is not None:
+            span.__exit__(None, None, None)
+
+    def crash_gate(self, limit: int | None = None):
+        """A veto callable for :class:`~repro.net.faults.CrashFaultModel`.
+
+        Permits a crash only of this file's live data buckets, and
+        only while the group's failure count stays within ``limit``
+        (default: the parity count) — the regime the paper's
+        k-availability guarantee covers.  Buckets that are retired,
+        pending (spares under recovery) or already declared dead are
+        never crashed: killing them would wedge an in-flight recovery
+        rather than model an independent failure.
+        """
+        allowed = self.parity_count if limit is None else limit
+
+        def gate(node_id: Hashable) -> bool:
+            if not (isinstance(node_id, tuple) and len(node_id) == 3
+                    and node_id[0] == "bucket"
+                    and node_id[1] == self.name):
+                return False
+            address = node_id[2]
+            bucket = self.buckets.get(address)
+            if bucket is None or bucket.retired or bucket.pending:
+                return False
+            if address in self.coordinator.dead:
+                return False
+            down = 0
+            for member in self.recovery_group(address):
+                if member == address:
+                    continue
+                peer = self.buckets.get(member)
+                if (member in self.coordinator.dead
+                        or (peer is not None and peer.pending)
+                        or self.network.is_crashed(
+                            self.bucket_id(member))):
+                    down += 1
+            return down + 1 <= allowed
+
+        return gate
 
     # -- recovery --------------------------------------------------------------
 
@@ -391,12 +935,27 @@ class LHStarRSFile(LHStarFile):
         return content[:slot.lengths[offset]]
 
     def verify_recovery(self, addresses: list[int]) -> bool:
-        """Check that recovery reproduces the live buckets exactly."""
+        """Check that recovery reproduces the live buckets exactly.
+
+        Raises :class:`~repro.errors.BucketUnavailableError` when an
+        address has no live bucket to verify against (it crashed, or
+        the file never grew that far) — historically this surfaced as
+        a bare ``KeyError`` from the bucket map.
+        """
+        # Liveness check first: recover_buckets would otherwise die on
+        # a bare KeyError looking up a parity group that never existed.
+        for address in addresses:
+            if self.buckets.get(address) is None:
+                raise BucketUnavailableError(
+                    f"bucket {address} has no live instance to verify "
+                    "the reconstruction against"
+                )
         recovered = self.recover_buckets(addresses)
         for address in addresses:
+            bucket = self.buckets[address]
             live = {
                 rid: record.content
-                for rid, record in self.buckets[address].records.items()
+                for rid, record in bucket.records.items()
             }
             if recovered[address] != live:
                 return False
