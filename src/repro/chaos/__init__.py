@@ -1,0 +1,54 @@
+"""Deterministic chaos engine for the encrypted-search SDDS stack.
+
+FoundationDB-style simulation testing over the repro simulator: a
+seeded :class:`~repro.chaos.nemesis.Nemesis` composes every fault
+class the net layer can express — message loss, duplication, payload
+corruption, node crash/restore, link partitions, latency spikes —
+into one schedule advanced lazily against the workload clock, while
+:mod:`repro.chaos.invariants` checks the faulted store against a
+fault-free twin.  A violated invariant is delta-debugged by
+:mod:`repro.chaos.shrink` down to a minimal reproducing schedule that
+serializes for replay.
+
+Entry point::
+
+    python -m repro.chaos --seed 7
+
+Everything is a pure function of the seed: no wall clock, no
+unseeded randomness — the same seed always produces a byte-identical
+episode report.
+"""
+
+from repro.chaos.nemesis import (
+    FaultEvent,
+    Nemesis,
+    NemesisProfile,
+    compose_schedule,
+    dump_schedule,
+    load_schedule,
+    register_action,
+)
+from repro.chaos.invariants import Violation
+from repro.chaos.runner import EpisodeConfig, EpisodeReport, run_episode
+from repro.chaos.shrink import (
+    ShrinkResult,
+    make_reproducer,
+    shrink_schedule,
+)
+
+__all__ = [
+    "FaultEvent",
+    "Nemesis",
+    "NemesisProfile",
+    "compose_schedule",
+    "dump_schedule",
+    "load_schedule",
+    "register_action",
+    "Violation",
+    "EpisodeConfig",
+    "EpisodeReport",
+    "run_episode",
+    "ShrinkResult",
+    "make_reproducer",
+    "shrink_schedule",
+]

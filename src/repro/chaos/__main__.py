@@ -1,0 +1,154 @@
+"""CLI: ``python -m repro.chaos --seed N``.
+
+Runs chaos episodes, writes JSONL episode reports, and on an
+invariant violation delta-debugs the fault schedule down to a minimal
+reproducing schedule serialized for replay (``--replay``).  Exit
+status 1 when any episode violated an invariant; 0 otherwise.
+
+Examples::
+
+    python -m repro.chaos --seed 7
+    python -m repro.chaos --seeds 25 --out chaos-out
+    python -m repro.chaos --seed 7 --replay chaos-out/schedule-7.min.json
+    python -m repro.chaos --seed 3 --corruption-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import replace
+
+from repro.chaos.nemesis import (
+    NemesisProfile,
+    dump_schedule,
+    load_schedule,
+)
+from repro.chaos.runner import EpisodeConfig, run_episode, write_report
+from repro.chaos.shrink import make_reproducer, shrink_schedule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic chaos episodes over the encrypted-"
+                    "search SDDS stack.",
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run a single episode with this seed")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="run episodes for seeds 0..N-1")
+    parser.add_argument("--ops", type=int, default=60,
+                        help="workload operations per episode")
+    parser.add_argument("--records", type=int, default=16,
+                        help="corpus records preloaded per episode")
+    parser.add_argument("--out", default="chaos-out",
+                        help="directory for reports and schedules")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip schedule minimisation on failure")
+    parser.add_argument("--replay", default=None, metavar="SCHEDULE",
+                        help="replay a serialized fault schedule "
+                             "instead of composing one")
+    parser.add_argument("--corruption-only", action="store_true",
+                        help="corruption bursts only (no loss, "
+                             "duplication, partitions, or crashes)")
+    parser.add_argument("--max-shrink-evals", type=int, default=120,
+                        help="replay budget for the shrinker")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> EpisodeConfig:
+    profile = NemesisProfile()
+    if args.corruption_only:
+        profile = replace(
+            profile,
+            loss_rate=0.0, loss_windows=0,
+            duplication_rate=0.0, duplication_windows=0,
+            latency_extra=0.0, latency_windows=0,
+            partition_windows=0,
+            crash_windows=0,
+            corruption_rate=0.3, corruption_windows=4,
+        )
+    return EpisodeConfig(
+        records=args.records, ops=args.ops, profile=profile
+    )
+
+
+def run_one(seed: int, args: argparse.Namespace,
+            config: EpisodeConfig) -> bool:
+    """Run (and maybe shrink) one episode; returns pass/fail."""
+    events = None
+    if args.replay:
+        events = load_schedule(args.replay)
+    report = run_episode(seed, config=config, events=events)
+    os.makedirs(args.out, exist_ok=True)
+    report_path = os.path.join(args.out, f"episode-{seed}.jsonl")
+    write_report(report, report_path)
+    stats = report.stats
+    print(
+        f"seed {seed}: "
+        f"{'OK' if report.ok else 'VIOLATED'} — "
+        f"{report.ops_applied} ops ({report.ops_failed} failed), "
+        f"{stats['messages']} msgs, "
+        f"{stats['dropped']} dropped, "
+        f"{stats['duplicated']} dup'd, "
+        f"{stats['corrupted']} corrupted, "
+        f"{stats['partitioned_drops']} partitioned, "
+        f"{stats['crashed_drops']} crash-dropped, "
+        f"{report.nemesis['crashes']} crashes, "
+        f"clock {report.elapsed:.2f}s -> {report_path}"
+    )
+    if report.ok:
+        return True
+    for violation in report.violations:
+        print(f"  [{violation.invariant}] {violation.detail}")
+    schedule_path = os.path.join(args.out, f"schedule-{seed}.json")
+    dump_schedule(report.events, schedule_path)
+    print(f"  failing schedule ({len(report.events)} events) -> "
+          f"{schedule_path}")
+    if not args.no_shrink and report.events:
+        invariant = report.violations[0].invariant
+        shrunk = shrink_schedule(
+            report.events,
+            make_reproducer(seed, config, invariant),
+            max_evaluations=args.max_shrink_evals,
+        )
+        if shrunk.reproduced:
+            minimal_path = os.path.join(
+                args.out, f"schedule-{seed}.min.json"
+            )
+            dump_schedule(shrunk.events, minimal_path)
+            print(
+                f"  shrunk to {len(shrunk.events)} events in "
+                f"{shrunk.evaluations} replays -> {minimal_path}"
+            )
+        else:
+            print("  shrink inconclusive: the full schedule did not "
+                  "re-reproduce (non-schedule nondeterminism?)")
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.seed is None and args.seeds is None:
+        args.seed = 0
+    seeds = (
+        [args.seed] if args.seed is not None
+        else list(range(args.seeds))
+    )
+    config = make_config(args)
+    failures = 0
+    for seed in seeds:
+        if not run_one(seed, args, config):
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(seeds)} episodes violated invariants")
+    else:
+        print(f"{len(seeds)}/{len(seeds)} episodes passed all "
+              "invariants")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Invariant oracles: the faulted store versus a fault-free twin.
+
+The chaos runner executes one seeded workload twice — once on a
+network the nemesis is torturing, once on a perfectly reliable twin —
+and these oracles assert that the only admissible differences are the
+ones the paper documents (search false positives) or the ones the
+fault model forces (operations whose retry budget died, tracked as
+*uncertain*).  Checked after the nemesis quiesces and the file heals:
+
+* **acked durability** — every acknowledged insert is retrievable
+  and decrypts to the acknowledged text.
+* **search agreement** — verified matches agree with the twin's,
+  modulo uncertain rids; recall is preserved (every twin match is at
+  least a candidate — the scheme's 100 % recall guarantee).
+* **scan coverage** — a full record-store scan covers exactly the
+  acked rids (plus possibly uncertain ones), and every scan
+  terminates with its coverage fractions summing to 1 (enforced by
+  ``take_scan``; surfacing here as a violation, not a crash).
+* **monotone file level** — the coordinator's ``(i, n)`` state never
+  steps backwards except through a legitimate delete-driven merge.
+* **parity consistency** — for LH*_RS files, every live bucket is
+  bit-for-bit reconstructible from its parity group
+  (``verify_recovery``).
+* **heal convergence** — after the nemesis quiesces, no bucket stays
+  declared dead (recovery completed and probes cleared the rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import BucketUnavailableError, SDDSError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which oracle, and what it saw."""
+
+    invariant: str
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+
+def check_durability(
+    store: Any, model: dict[int, str], uncertain: set[int]
+) -> list[Violation]:
+    """Every acked insert must read back as the acked text."""
+    violations = []
+    for rid in sorted(model):
+        if rid in uncertain:
+            continue
+        try:
+            text = store.get(rid)
+        except SDDSError as error:
+            violations.append(Violation(
+                "acked-durability",
+                f"get({rid}) failed after heal: {error}",
+            ))
+            continue
+        if text != model[rid]:
+            violations.append(Violation(
+                "acked-durability",
+                f"get({rid}) = {text!r}, acked {model[rid]!r}",
+            ))
+    return violations
+
+
+def check_search_agreement(
+    pattern: str,
+    chaos_result: Any,
+    twin_result: Any,
+    uncertain: set[int],
+) -> list[Violation]:
+    """Verified matches agree modulo uncertainty; recall holds.
+
+    Candidate sets may legitimately differ (the scheme's documented
+    false positives are corpus-dependent, and uncertain rids may be
+    half-indexed), but after client-side verification the match sets
+    must be identical outside the uncertain rids — and every certain
+    twin match must at least have been a chaos candidate, or the scan
+    round lost a record (recall breach).
+    """
+    violations = []
+    chaos_matches = set(chaos_result.matches) - uncertain
+    twin_matches = set(twin_result.matches) - uncertain
+    if chaos_matches != twin_matches:
+        violations.append(Violation(
+            "search-agreement",
+            f"search({pattern!r}) matches "
+            f"{sorted(chaos_matches)} != twin "
+            f"{sorted(twin_matches)}",
+        ))
+    missing = twin_matches - set(chaos_result.candidates)
+    if missing:
+        violations.append(Violation(
+            "search-agreement",
+            f"search({pattern!r}) lost recall: twin matches "
+            f"{sorted(missing)} never became candidates",
+        ))
+    return violations
+
+
+def check_scan_coverage(
+    store: Any, model: dict[int, str], uncertain: set[int]
+) -> list[Violation]:
+    """A full record-store scan sees the acked rids, nothing else.
+
+    ``take_scan`` has already enforced that coverage fractions summed
+    to exactly 1 (raising ``RuntimeError`` otherwise — reported by the
+    caller as a scan-coverage violation); this checks the scan's
+    *content* against the acked model.
+    """
+    try:
+        scanned = set(
+            store.record_file.scan(lambda record: record.rid)
+        )
+    except SDDSError as error:
+        return [Violation(
+            "scan-coverage", f"record scan failed after heal: {error}"
+        )]
+    except RuntimeError as error:
+        return [Violation("scan-coverage", str(error))]
+    acked = set(model) - uncertain
+    lost = acked - scanned
+    ghosts = scanned - set(model) - uncertain
+    violations = []
+    if lost:
+        violations.append(Violation(
+            "scan-coverage",
+            f"scan missed acked rids {sorted(lost)}",
+        ))
+    if ghosts:
+        violations.append(Violation(
+            "scan-coverage",
+            f"scan saw rids never acked: {sorted(ghosts)}",
+        ))
+    return violations
+
+
+class LevelMonitor:
+    """Tracks the coordinator's ``(i, n)`` state across the workload.
+
+    The LH* file level only grows under inserts; it steps back solely
+    through a merge, which only a delete-driven underflow triggers.
+    The runner feeds one ``observe`` per operation.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._last: tuple[int, int] | None = None
+        self._delete_since = True  # initial state is unconstrained
+        self.violations: list[Violation] = []
+
+    def observe(self, state: tuple[int, int], deleted: bool) -> None:
+        if (
+            self._last is not None
+            and state < self._last
+            and not self._delete_since
+        ):
+            self.violations.append(Violation(
+                "monotone-level",
+                f"{self.name} state {state} < {self._last} with no "
+                "delete in between",
+            ))
+        self._last = state
+        self._delete_since = deleted
+
+
+def check_parity_consistency(file: Any) -> list[Violation]:
+    """Every live LH*_RS bucket reconstructs bit-for-bit from parity."""
+    if not hasattr(file, "verify_recovery"):
+        return []
+    violations = []
+    for address in sorted(file.buckets):
+        bucket = file.buckets[address]
+        if bucket is None or bucket.retired or bucket.pending:
+            continue
+        try:
+            ok = file.verify_recovery([address])
+        except BucketUnavailableError as error:
+            violations.append(Violation(
+                "parity-consistency",
+                f"{file.name} bucket {address}: {error}",
+            ))
+            continue
+        if not ok:
+            violations.append(Violation(
+                "parity-consistency",
+                f"{file.name} bucket {address} does not reconstruct "
+                "from its parity group",
+            ))
+    return violations
+
+
+def check_heal_convergence(file: Any) -> list[Violation]:
+    """After quiesce + probe rounds no bucket may stay declared dead."""
+    dead = sorted(file.coordinator.dead)
+    if not dead:
+        return []
+    return [Violation(
+        "heal-convergence",
+        f"{file.name} still has dead buckets {dead} after heal",
+    )]

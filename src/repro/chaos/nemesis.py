@@ -1,0 +1,509 @@
+"""Composable, fully seeded fault schedules (the nemesis).
+
+A :class:`Nemesis` owns an ordered list of :class:`FaultEvent` records
+and applies them lazily against the workload clock, exactly like the
+PR-3 crash schedules: ``Network.run`` consults every entry of
+``network.schedules`` before processing each queued event, so faults
+land where the traffic's clock has reached — never ahead of it, and
+never drained up front by the first run-to-quiescence.
+
+Fault classes (the built-in actions):
+
+``loss`` / ``duplication`` / ``corruption``
+    A *window* during which the network's
+    :class:`~repro.net.faults.FaultModel` rate for that fault is
+    raised to ``params["rate"]``; the base rate is restored when the
+    window closes (overlapping windows take the maximum).
+``latency``
+    A window adding ``params["extra"]`` seconds to every message's
+    latency (a congestion spike).
+``partition``
+    A window severing the links between node groups ``params["a"]``
+    and ``params["b"]`` (``params["symmetric"]`` controls direction);
+    healed when the window closes.
+``crash``
+    A window during which node ``params["node"]`` is down, applied
+    through a :class:`~repro.net.faults.CrashFaultModel` so the PR-3
+    gating and restore-suppression semantics are reused verbatim: a
+    vetoed crash (``Nemesis.gate``) also suppresses the restore.
+
+Custom actions register through :func:`register_action` — chaos tests
+use this to inject *sabotage* events (deliberate invariant breakage)
+that exercise the shrinker.
+
+Events are plain JSON (node ids serialize as nested lists and are
+re-tuplified on load), so a failing schedule round-trips through
+:func:`dump_schedule` / :func:`load_schedule` for replay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from dataclasses import dataclass, field
+from typing import IO, Any, Callable, Hashable
+
+from repro.net.faults import CrashFaultModel
+from repro.net.simulator import LatencyModel, Network
+
+SCHEDULE_VERSION = 1
+
+
+def _plain(value: Any) -> Any:
+    """JSON-encodable view of a params value (tuples become lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    return value
+
+
+def _tuplify(value: Any) -> Any:
+    """Undo :func:`_plain`: nested lists back to (hashable) tuples.
+
+    Node ids are tuples (``("bucket", name, addr)``); JSON turns them
+    into lists, and this turns them back, so a schedule loaded from
+    disk behaves identically to the one that was dumped.
+    """
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: an action applied at ``at`` for
+    ``duration`` simulated seconds (0 = instantaneous)."""
+
+    at: float
+    action: str
+    duration: float = 0.0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "action": self.action,
+            "duration": self.duration,
+            "params": _plain(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
+        return cls(
+            at=float(data["at"]),
+            action=str(data["action"]),
+            duration=float(data.get("duration", 0.0)),
+            params=dict(data.get("params", {})),
+        )
+
+
+# -- action registry ----------------------------------------------------------
+
+#: action name -> (on_open, on_close).  ``on_open(nemesis, network,
+#: event)`` runs at ``event.at``; ``on_close`` at ``event.at +
+#: event.duration`` (and from :meth:`Nemesis.quiesce` for windows
+#: still active at episode end).  ``on_close`` may be ``None`` for
+#: instantaneous actions.
+ACTIONS: dict[
+    str,
+    tuple[
+        Callable[["Nemesis", Network, FaultEvent], None],
+        Callable[["Nemesis", Network, FaultEvent], None] | None,
+    ],
+] = {}
+
+
+def register_action(
+    name: str,
+    on_open: Callable[["Nemesis", Network, FaultEvent], None],
+    on_close: Callable[["Nemesis", Network, FaultEvent], None] | None = None,
+) -> None:
+    """Register a (possibly custom) nemesis action.
+
+    Chaos tests register deliberate invariant-breaking actions here so
+    the whole catch-and-shrink pipeline can be exercised end to end.
+    Re-registering a name replaces it.
+    """
+    ACTIONS[name] = (on_open, on_close)
+
+
+def _open_rate(nemesis: "Nemesis", network: Network,
+               event: FaultEvent) -> None:
+    nemesis._refresh_rates(network)
+
+
+def _close_rate(nemesis: "Nemesis", network: Network,
+                event: FaultEvent) -> None:
+    nemesis._refresh_rates(network)
+
+
+def _partition_groups(
+    event: FaultEvent,
+) -> tuple[list[Hashable], list[Hashable]]:
+    # Schedule convention: ``a``/``b`` are *lists of node ids* (ids
+    # themselves being tuples, serialized as nested lists).  Tuplify
+    # each element, never the outer list — a tuple would read as one
+    # giant node id to ``Network._as_group``.
+    return (
+        [_tuplify(item) for item in event.params["a"]],
+        [_tuplify(item) for item in event.params["b"]],
+    )
+
+
+def _open_partition(nemesis: "Nemesis", network: Network,
+                    event: FaultEvent) -> None:
+    a, b = _partition_groups(event)
+    network.partition(
+        a, b, symmetric=event.params.get("symmetric", True)
+    )
+
+
+def _close_partition(nemesis: "Nemesis", network: Network,
+                     event: FaultEvent) -> None:
+    a, b = _partition_groups(event)
+    network.heal(
+        a, b, symmetric=event.params.get("symmetric", True)
+    )
+
+
+def _open_crash(nemesis: "Nemesis", network: Network,
+                event: FaultEvent) -> None:
+    node = _tuplify(event.params["node"])
+    nemesis._crashes.schedule_crash(network.now, node)
+    nemesis._crashes.advance(network, network.now)
+
+
+def _close_crash(nemesis: "Nemesis", network: Network,
+                 event: FaultEvent) -> None:
+    node = _tuplify(event.params["node"])
+    nemesis._crashes.schedule_restore(network.now, node)
+    nemesis._crashes.advance(network, network.now)
+
+
+register_action("loss", _open_rate, _close_rate)
+register_action("duplication", _open_rate, _close_rate)
+register_action("corruption", _open_rate, _close_rate)
+register_action("latency", _open_rate, _close_rate)
+register_action("partition", _open_partition, _close_partition)
+register_action("crash", _open_crash, _close_crash)
+
+
+class _SpikedLatency(LatencyModel):
+    """The base latency model plus a constant congestion surcharge."""
+
+    def __init__(self, base: LatencyModel, extra: float) -> None:
+        object.__setattr__(self, "fixed", base.fixed)
+        object.__setattr__(
+            self, "bandwidth_bytes_per_s", base.bandwidth_bytes_per_s
+        )
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "extra", extra)
+
+    def latency(self, size: int) -> float:
+        return self.base.latency(size) + self.extra
+
+
+class Nemesis:
+    """Applies a :class:`FaultEvent` schedule against a network.
+
+    Construct with an explicit event list (as the shrinker does) or
+    from :func:`compose_schedule`'s seeded composition; then
+    :meth:`attach` to the network *before* the workload runs.  The
+    network's own ``FaultModel`` supplies the base rates (usually all
+    zero) that window closes restore.
+
+    ``gate`` is consulted for every crash event (see
+    :meth:`~repro.sdds.lhstar_rs.LHStarRSFile.crash_gate`): a vetoed
+    crash counts as skipped and suppresses its restore — the
+    :class:`~repro.net.faults.CrashFaultModel` semantics, reused
+    through an internal instance.
+    """
+
+    def __init__(self, events: list[FaultEvent]) -> None:
+        self.events = sorted(events, key=lambda e: e.at)
+        self._cursor = 0
+        #: Active windows: token -> event, plus a (close-time, token)
+        #: heap so opens and closes interleave in time order.
+        self._active: dict[int, FaultEvent] = {}
+        self._ends: list[tuple[float, int]] = []
+        self._token = 0
+        self._crashes = CrashFaultModel(seed=0)
+        self._base_rates: tuple[float, float, float] | None = None
+        self._base_latency: LatencyModel | None = None
+        self._network: Network | None = None
+        self.applied = 0
+        self.expired = 0
+
+    # -- gate / counters ------------------------------------------------------
+
+    @property
+    def gate(self) -> Callable[[Hashable], bool] | None:
+        return self._crashes.gate
+
+    @gate.setter
+    def gate(self, gate: Callable[[Hashable], bool] | None) -> None:
+        self._crashes.gate = gate
+
+    @property
+    def crashes(self) -> int:
+        return self._crashes.crashes
+
+    @property
+    def restores(self) -> int:
+        return self._crashes.restores
+
+    @property
+    def skipped_crashes(self) -> int:
+        return self._crashes.skipped
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "events": len(self.events),
+            "applied": self.applied,
+            "expired": self.expired,
+            "crashes": self.crashes,
+            "restores": self.restores,
+            "skipped_crashes": self.skipped_crashes,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self, network: Network) -> "Nemesis":
+        """Record base rates/latency and hook into ``network.run``."""
+        if network.faults is None:
+            raise ValueError(
+                "a Nemesis needs a FaultModel on the network: its "
+                "rate windows modulate the model's rates"
+            )
+        self._network = network
+        faults = network.faults
+        self._base_rates = (
+            faults.loss_rate,
+            faults.duplication_rate,
+            faults.corruption_rate,
+        )
+        self._base_latency = network.latency
+        network.schedules.append(self)
+        return self
+
+    def advance(self, network: Network, until: float) -> None:
+        """Apply every open/close transition with time <= ``until``.
+
+        Called by ``Network.run`` before each queued event, exactly
+        like ``CrashFaultModel.advance`` — the schedule tracks the
+        workload clock.
+        """
+        while True:
+            next_open = (
+                self.events[self._cursor].at
+                if self._cursor < len(self.events) else float("inf")
+            )
+            next_close = (
+                self._ends[0][0] if self._ends else float("inf")
+            )
+            when = min(next_open, next_close)
+            if when > until:
+                return
+            if next_close <= next_open:
+                __, token = heapq.heappop(self._ends)
+                self._close(network, token)
+            else:
+                event = self.events[self._cursor]
+                self._cursor += 1
+                self._open(network, event)
+
+    def quiesce(self, network: Network) -> None:
+        """End the chaos: expire pending events, close every active
+        window (healing partitions, restoring rates/latency and
+        crashed nodes) and clear any stray partition.
+
+        After ``quiesce`` plus a run-to-quiescence the network is
+        fault-free again — the state the heal-phase invariants check.
+        """
+        self.expired += len(self.events) - self._cursor
+        self._cursor = len(self.events)
+        while self._ends:
+            __, token = heapq.heappop(self._ends)
+            self._close(network, token)
+        # Belt and braces: restore anything a lost close would leave.
+        network.heal()
+        self._refresh_rates(network)
+
+    # -- internals ------------------------------------------------------------
+
+    def _open(self, network: Network, event: FaultEvent) -> None:
+        try:
+            on_open, on_close = ACTIONS[event.action]
+        except KeyError:
+            raise ValueError(
+                f"unknown nemesis action {event.action!r}"
+            ) from None
+        self.applied += 1
+        if event.duration > 0 and on_close is not None:
+            token = self._token
+            self._token += 1
+            self._active[token] = event
+            heapq.heappush(
+                self._ends, (event.at + event.duration, token)
+            )
+        on_open(self, network, event)
+
+    def _close(self, network: Network, token: int) -> None:
+        event = self._active.pop(token)
+        on_close = ACTIONS[event.action][1]
+        if on_close is not None:
+            on_close(self, network, event)
+
+    def _refresh_rates(self, network: Network) -> None:
+        """Recompute effective fault rates and latency from the base
+        values and the currently active windows (max composition)."""
+        if self._base_rates is None:
+            return
+        loss, duplication, corruption = self._base_rates
+        extra = 0.0
+        for event in self._active.values():
+            rate = event.params.get("rate", 0.0)
+            if event.action == "loss":
+                loss = max(loss, rate)
+            elif event.action == "duplication":
+                duplication = max(duplication, rate)
+            elif event.action == "corruption":
+                corruption = max(corruption, rate)
+            elif event.action == "latency":
+                extra = max(extra, event.params.get("extra", 0.0))
+        faults = network.faults
+        faults.loss_rate = loss
+        faults.duplication_rate = duplication
+        faults.corruption_rate = corruption
+        base_latency = self._base_latency or network.latency
+        network.latency = (
+            base_latency if extra == 0.0
+            else _SpikedLatency(base_latency, extra)
+        )
+
+
+# -- seeded composition -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NemesisProfile:
+    """Intensity knobs for :func:`compose_schedule`.
+
+    Each fault class contributes ``*_windows`` windows (0 disables the
+    class) at the given peak rate/magnitude; window start times are
+    uniform over ``[warmup, horizon]`` and durations exponential with
+    mean ``window``.  Everything is drawn from one seeded stream, so a
+    (seed, profile) pair is a complete, reproducible description of
+    the chaos.
+    """
+
+    loss_rate: float = 0.25
+    loss_windows: int = 2
+    duplication_rate: float = 0.2
+    duplication_windows: int = 2
+    corruption_rate: float = 0.25
+    corruption_windows: int = 2
+    latency_extra: float = 0.02
+    latency_windows: int = 1
+    partition_windows: int = 2
+    crash_windows: int = 2
+    window: float = 1.5
+    warmup: float = 0.0
+    horizon: float = 40.0
+
+
+def compose_schedule(
+    seed: int,
+    profile: NemesisProfile,
+    crash_targets: list[Hashable] | None = None,
+    partition_pairs: list[tuple[Any, Any]] | None = None,
+) -> list[FaultEvent]:
+    """Draw a composed fault schedule from ``seed`` and ``profile``.
+
+    ``crash_targets`` are the node ids crash windows may hit (the
+    caller passes data-bucket ids; the nemesis gate still vetoes
+    unsafe ones at apply time).  ``partition_pairs`` are the
+    ``(group_a, group_b)`` link sets partition windows may sever,
+    each group a *list of node ids* —
+    the caller chooses pairs whose traffic the client retry path
+    covers (client↔bucket links, never coordinator or
+    bucket↔bucket links, whose protocols assume reliable transport).
+    """
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+
+    def windows(count: int, action: str, params: dict[str, Any]) -> None:
+        for __ in range(count):
+            at = profile.warmup + rng.random() * (
+                profile.horizon - profile.warmup
+            )
+            duration = rng.expovariate(1.0 / profile.window)
+            events.append(FaultEvent(
+                at=at, action=action, duration=duration,
+                params=dict(params),
+            ))
+
+    if profile.loss_rate > 0:
+        windows(profile.loss_windows, "loss",
+                {"rate": profile.loss_rate})
+    if profile.duplication_rate > 0:
+        windows(profile.duplication_windows, "duplication",
+                {"rate": profile.duplication_rate})
+    if profile.corruption_rate > 0:
+        windows(profile.corruption_windows, "corruption",
+                {"rate": profile.corruption_rate})
+    if profile.latency_extra > 0:
+        windows(profile.latency_windows, "latency",
+                {"extra": profile.latency_extra})
+    if partition_pairs:
+        for __ in range(profile.partition_windows):
+            a, b = partition_pairs[
+                rng.randrange(len(partition_pairs))
+            ]
+            windows(1, "partition", {
+                "a": _plain(list(a)),
+                "b": _plain(list(b)),
+                "symmetric": rng.random() < 0.5,
+            })
+    if crash_targets:
+        for __ in range(profile.crash_windows):
+            node = crash_targets[rng.randrange(len(crash_targets))]
+            windows(1, "crash", {"node": _plain(node)})
+    events.sort(key=lambda e: (e.at, e.action))
+    return events
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def dump_schedule(
+    events: list[FaultEvent], destination: str | IO[str]
+) -> None:
+    """Write a schedule as JSON for replay (see PROTOCOLS.md §10)."""
+    data = {
+        "version": SCHEDULE_VERSION,
+        "events": [event.to_dict() for event in events],
+    }
+    if isinstance(destination, (str, bytes)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+            handle.write("\n")
+        return
+    json.dump(data, destination, indent=2)
+    destination.write("\n")
+
+
+def load_schedule(source: str | IO[str]) -> list[FaultEvent]:
+    """Read a schedule back; inverse of :func:`dump_schedule`."""
+    if isinstance(source, (str, bytes)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    if data.get("version") != SCHEDULE_VERSION:
+        raise ValueError(
+            f"unsupported schedule version {data.get('version')!r}"
+        )
+    return [FaultEvent.from_dict(item) for item in data["events"]]

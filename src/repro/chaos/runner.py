@@ -1,0 +1,412 @@
+"""One chaos episode: seeded workload + nemesis + oracle battery.
+
+An episode is a pure function of its seed and config:
+
+1. Build the chaos store (LH*_RS record + index files, per the
+   paper's §5 high-availability deployment) on a network with a
+   zero-rate :class:`~repro.net.faults.FaultModel` (the nemesis
+   raises the rates in windows) and a seeded jitter latency model —
+   and a *fault-free twin* of the same store on a reliable network.
+2. Preload the corpus on both stores, then compose the seeded fault
+   schedule over the workload's time span and attach the nemesis.
+3. Run the op mix (puts, gets, substring searches, deletes) against
+   the chaos store, mirroring every *acknowledged* op onto the twin
+   and the client-side model; ops whose retry budget dies under the
+   chaos are *uncertain* — excluded from strict comparison, exactly
+   like a real client that cannot know whether its timed-out write
+   landed.  A deterministic think-time tick between ops walks the
+   simulated clock through the whole fault schedule.
+4. Quiesce the nemesis (heal partitions, restore crashed nodes,
+   restore base rates), drive coordinator probe rounds until no
+   bucket stays declared dead, then run the invariant battery of
+   :mod:`repro.chaos.invariants`.
+
+The episode report (see OBSERVABILITY.md) is JSONL: one ``episode``
+line with config, counters, and violations, followed by the PR-2
+tracer's spans for every operation.  No wall clock, no unseeded
+randomness — byte-identical output for a given (seed, config,
+schedule).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, replace
+from typing import IO, Any
+
+from repro.chaos.invariants import (
+    LevelMonitor,
+    Violation,
+    check_durability,
+    check_heal_convergence,
+    check_parity_consistency,
+    check_scan_coverage,
+    check_search_agreement,
+)
+from repro.chaos.nemesis import (
+    FaultEvent,
+    Nemesis,
+    NemesisProfile,
+    compose_schedule,
+)
+from repro.core import EncryptedSearchableStore, SchemeParameters
+from repro.errors import SDDSError
+from repro.net.faults import FaultModel, RetryPolicy
+from repro.net.simulator import JitterLatencyModel, Network
+from repro.obs.trace import Span, Tracer, use_tracer
+from repro.sdds.lhstar import HEADER_SIZE
+
+#: Deterministic corpus pool (the paper's SF-directory flavour).
+NAME_POOL = [
+    "SCHWARZ THOMAS",
+    "LITWIN WITOLD",
+    "TSUI PETER",
+    "ABOGADO ALEJANDRO",
+    "MOUSSA RIM",
+    "NEIMAT MARIE ANNE",
+    "SCHNEIDER DONOVAN",
+    "ANDERSON MARGARET",
+    "ARMSTRONG STEPHEN",
+    "SCHOLTEN HENDRIK",
+    "PETERSEN INGRID",
+    "WHITACRE ERIC",
+    "LINDGREN ASTRID",
+    "ARCHER ELIZABETH",
+    "THOMPSON SCHOLAR",
+    "WINTERBOTTOM ANNE",
+    "CHANDRA PETER",
+    "NGUYEN THANH",
+    "LEUNG WINNIE",
+    "MARSHALL ANNE",
+    "SCHWINN MARTIN",
+    "ARCHIBALD GRETA",
+    "PETROV MIKHAIL",
+    "WITOLDSON ERIK",
+]
+
+#: Search patterns (>= the full(4) layout's minimum query length).
+PATTERNS = ["SCHW", "ARCH", "PETER", "ANNE", "WITO", "LITW"]
+
+
+@dataclass(frozen=True)
+class EpisodeConfig:
+    """Everything but the seed that shapes an episode."""
+
+    records: int = 16
+    ops: int = 60
+    bucket_capacity: int = 4
+    group_size: int = 4
+    parity_count: int = 2
+    chunk_size: int = 4
+    retry_timeout: float = 0.2
+    retry_backoff: float = 2.0
+    retry_max: int = 6
+    retry_jitter: float = 0.5
+    profile: NemesisProfile = field(default_factory=NemesisProfile)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class EpisodeReport:
+    """Outcome of one episode; serialized by :func:`write_report`."""
+
+    seed: int
+    config: EpisodeConfig
+    events: list[FaultEvent]
+    violations: list[Violation]
+    nemesis: dict[str, int]
+    stats: dict[str, Any]
+    ops_applied: int
+    ops_failed: int
+    uncertain: list[int]
+    elapsed: float
+    spans: list[Span] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def episode_dict(self) -> dict[str, Any]:
+        return {
+            "type": "episode",
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "schedule": [event.to_dict() for event in self.events],
+            "nemesis": self.nemesis,
+            "stats": self.stats,
+            "ops_applied": self.ops_applied,
+            "ops_failed": self.ops_failed,
+            "uncertain": self.uncertain,
+            "elapsed": self.elapsed,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def write_report(
+    report: EpisodeReport, destination: str | IO[str]
+) -> None:
+    """Write the JSONL episode report: the episode line, then every
+    tracer span (the PR-2 format ``load_jsonl`` understands)."""
+    if isinstance(destination, (str, bytes)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_report(report, handle)
+        return
+    destination.write(json.dumps(report.episode_dict()))
+    destination.write("\n")
+    for span in report.spans:
+        destination.write(json.dumps(span.to_dict()))
+        destination.write("\n")
+
+
+def _build_store(
+    config: EpisodeConfig,
+    network: Network,
+    policy: RetryPolicy,
+) -> EncryptedSearchableStore:
+    return EncryptedSearchableStore(
+        SchemeParameters.full(config.chunk_size),
+        network=network,
+        bucket_capacity=config.bucket_capacity,
+        high_availability=True,
+        retry_policy=policy,
+        group_size=config.group_size,
+        parity_count=config.parity_count,
+    )
+
+
+def _converge(store: EncryptedSearchableStore, network: Network,
+              rounds: int = 6) -> None:
+    """Probe-drive the coordinators until no bucket stays dead.
+
+    After the nemesis quiesces, every node is up again but a
+    coordinator may still carry ``dead`` entries (a recovery that
+    finished between run calls, or a dead-unrecoverable verdict from
+    a probe that raced a restore).  A client ``suspect`` per dead
+    address triggers the probe round that clears them; buckets that
+    are genuinely mid-recovery complete during the run.
+    """
+    files = (store.record_file, store.index_file)
+    for __ in range(rounds):
+        dead = [
+            (file, address)
+            for file in files
+            for address in sorted(file.coordinator.dead)
+        ]
+        if not dead:
+            return
+        for file, address in dead:
+            file.client.send(
+                file.coordinator_id,
+                "suspect",
+                {"address": address, "client": file.client.node_id},
+                size=HEADER_SIZE,
+            )
+        network.run()
+
+
+def run_episode(
+    seed: int,
+    config: EpisodeConfig | None = None,
+    events: list[FaultEvent] | None = None,
+) -> EpisodeReport:
+    """Run one chaos episode; see the module docstring.
+
+    ``events`` replays an explicit fault schedule (shrinker, CLI
+    ``--replay``) instead of composing one from the seed; the
+    workload itself is still derived from ``seed`` either way.
+    """
+    config = config or EpisodeConfig()
+    policy = RetryPolicy(
+        timeout=config.retry_timeout,
+        backoff=config.retry_backoff,
+        max_retries=config.retry_max,
+        jitter=config.retry_jitter,
+        seed=seed,
+    )
+    chaos_net = Network(
+        latency=JitterLatencyModel(seed=seed * 2 + 1, jitter=0.002),
+        faults=FaultModel(seed=seed * 2 + 2),
+    )
+    chaos = _build_store(config, chaos_net, policy)
+    twin = _build_store(config, Network(), RetryPolicy())
+
+    tracer = Tracer(network=chaos_net, capacity=65536)
+    with use_tracer(tracer):
+        report = _run_episode_traced(
+            seed, config, events, chaos, twin, chaos_net
+        )
+    report.spans = list(tracer.finished)
+    return report
+
+
+def _run_episode_traced(
+    seed: int,
+    config: EpisodeConfig,
+    events: list[FaultEvent] | None,
+    chaos: EncryptedSearchableStore,
+    twin: EncryptedSearchableStore,
+    chaos_net: Network,
+) -> EpisodeReport:
+    violations: list[Violation] = []
+    model: dict[int, str] = {}
+    uncertain: set[int] = set()
+    rng = random.Random(seed * 7919 + 13)
+
+    # 1. Preload on a still-calm network (the base state both runs
+    # share), then anchor the fault schedule to the clock from here.
+    for rid in range(1, config.records + 1):
+        text = NAME_POOL[(rid - 1) % len(NAME_POOL)]
+        chaos.put(rid, text)
+        twin.put(rid, text)
+        model[rid] = text
+
+    start = chaos_net.now
+    if events is None:
+        profile = replace(
+            config.profile,
+            warmup=start,
+            horizon=start + config.profile.horizon,
+        )
+        crash_targets = [
+            chaos.record_file.bucket_id(a) for a in range(16)
+        ] + [chaos.index_file.bucket_id(a) for a in range(16)]
+        partition_pairs = []
+        for file in (chaos.record_file, chaos.index_file):
+            buckets = [file.bucket_id(a) for a in range(16)]
+            partition_pairs.append(
+                ([file.client.node_id], buckets[:8])
+            )
+            partition_pairs.append(
+                ([file.client.node_id], buckets[8:])
+            )
+        events = compose_schedule(
+            seed, profile,
+            crash_targets=crash_targets,
+            partition_pairs=partition_pairs,
+        )
+
+    nemesis = Nemesis(events)
+    gates = (chaos.record_file.crash_gate(),
+             chaos.index_file.crash_gate())
+    nemesis.gate = lambda node_id: any(g(node_id) for g in gates)
+    nemesis.attach(chaos_net)
+
+    monitors = (
+        LevelMonitor(chaos.record_file.name),
+        LevelMonitor(chaos.index_file.name),
+    )
+
+    # 2. The op mix.  The think-time tick walks the clock across the
+    # whole schedule horizon even when every op is fast, so no window
+    # silently expires unexercised.
+    tick = config.profile.horizon * 1.1 / max(config.ops, 1)
+    ops_applied = 0
+    ops_failed = 0
+    for __ in range(config.ops):
+        chaos_net.schedule(tick, lambda: None)
+        chaos_net.run()
+        draw = rng.random()
+        rid = rng.randrange(1, config.records + 1)
+        deleted = False
+        try:
+            if draw < 0.35:
+                text = NAME_POOL[rng.randrange(len(NAME_POOL))]
+                chaos.put(rid, text)
+                twin.put(rid, text)
+                model[rid] = text
+                uncertain.discard(rid)
+            elif draw < 0.65:
+                got = chaos.get(rid)
+                if rid not in uncertain:
+                    expected = model.get(rid)
+                    if got != expected:
+                        violations.append(Violation(
+                            "acked-durability",
+                            f"mid-run get({rid}) = {got!r}, acked "
+                            f"{expected!r}",
+                        ))
+            elif draw < 0.90:
+                pattern = PATTERNS[rng.randrange(len(PATTERNS))]
+                result = chaos.search(pattern)
+                violations.extend(check_search_agreement(
+                    pattern, result, twin.search(pattern), uncertain
+                ))
+            else:
+                deleted = True
+                removed = chaos.delete(rid)
+                if removed:
+                    twin.delete(rid)
+                    model.pop(rid, None)
+                    uncertain.discard(rid)
+            ops_applied += 1
+        except SDDSError:
+            # The retry budget died under the chaos.  A failed read
+            # changes nothing; a failed write leaves the rid's fate
+            # unknown until a later acked op settles it.
+            ops_failed += 1
+            if draw < 0.35 or deleted:
+                uncertain.add(rid)
+                model.pop(rid, None)
+        except RuntimeError as error:
+            ops_failed += 1
+            name = ("scan-coverage" if "coverage" in str(error)
+                    else "runtime-error")
+            violations.append(Violation(name, str(error)))
+        for monitor, file in zip(
+            monitors, (chaos.record_file, chaos.index_file)
+        ):
+            monitor.observe(file.state, deleted)
+
+    # 3. Heal and settle.
+    nemesis.quiesce(chaos_net)
+    chaos_net.run()
+    _converge(chaos, chaos_net)
+
+    # 4. The oracle battery.
+    for monitor in monitors:
+        violations.extend(monitor.violations)
+    violations.extend(check_heal_convergence(chaos.record_file))
+    violations.extend(check_heal_convergence(chaos.index_file))
+    violations.extend(check_durability(chaos, model, uncertain))
+    for pattern in PATTERNS:
+        try:
+            result = chaos.search(pattern)
+        except (SDDSError, RuntimeError) as error:
+            violations.append(Violation(
+                "search-agreement",
+                f"final search({pattern!r}) failed after heal: "
+                f"{error}",
+            ))
+            continue
+        violations.extend(check_search_agreement(
+            pattern, result, twin.search(pattern), uncertain
+        ))
+    violations.extend(check_scan_coverage(chaos, model, uncertain))
+    violations.extend(check_parity_consistency(chaos.record_file))
+    violations.extend(check_parity_consistency(chaos.index_file))
+
+    stats = chaos_net.stats
+    return EpisodeReport(
+        seed=seed,
+        config=config,
+        events=events,
+        violations=violations,
+        nemesis=nemesis.counters(),
+        stats={
+            "messages": stats.messages,
+            "bytes": stats.bytes,
+            "dropped": stats.dropped,
+            "duplicated": stats.duplicated,
+            "retries": stats.retries,
+            "crashed_drops": stats.crashed_drops,
+            "partitioned_drops": stats.partitioned_drops,
+            "corrupted": stats.corrupted,
+        },
+        ops_applied=ops_applied,
+        ops_failed=ops_failed,
+        uncertain=sorted(uncertain),
+        elapsed=chaos_net.now,
+    )

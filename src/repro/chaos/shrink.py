@@ -1,0 +1,118 @@
+"""Delta-debugging a failing fault schedule to a minimal core.
+
+When an episode violates an invariant, the schedule that provoked it
+may hold dozens of fault events, almost all irrelevant.  Classic
+ddmin (Zeller & Hildebrandt) over the event list — try dropping
+chunks, keep any reduction that still reproduces, refine granularity —
+followed by a one-event-at-a-time minimality pass yields a *minimal
+reproducing schedule*: removing any single remaining event makes the
+violation disappear.  Determinism makes this sound: replaying the
+same (seed, config, schedule) triple always yields the same episode,
+so "still reproduces" is a pure predicate.
+
+Reproduction is matched by *invariant name* (e.g. a shrink of an
+``acked-durability`` failure must still break acked durability), not
+by exact detail text — the minimal schedule usually damages a
+different record than the full one did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chaos.nemesis import FaultEvent
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal schedule and its cost."""
+
+    events: list[FaultEvent]
+    evaluations: int
+    reproduced: bool
+    trace: list[tuple[int, bool]] = field(default_factory=list)
+
+
+def shrink_schedule(
+    events: list[FaultEvent],
+    reproduces: Callable[[list[FaultEvent]], bool],
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """Minimise ``events`` while ``reproduces(subset)`` stays true.
+
+    ``reproduces`` replays the workload with the candidate schedule
+    and reports whether the original invariant still breaks (see
+    :func:`make_reproducer`).  ``max_evaluations`` caps replay cost;
+    hitting the cap returns the best reduction found so far, which is
+    still a valid reproducing schedule (just maybe not 1-minimal).
+    """
+    result = ShrinkResult(events=list(events), evaluations=0,
+                          reproduced=False)
+
+    def check(candidate: list[FaultEvent]) -> bool:
+        if result.evaluations >= max_evaluations:
+            return False
+        result.evaluations += 1
+        ok = reproduces(candidate)
+        result.trace.append((len(candidate), ok))
+        return ok
+
+    if not check(result.events):
+        # The full schedule does not reproduce (flaky premise): bail
+        # out honestly rather than "minimising" noise.
+        return result
+    result.reproduced = True
+
+    # -- ddmin ---------------------------------------------------------------
+    current = result.events
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and check(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    # -- 1-minimality pass ---------------------------------------------------
+    index = 0
+    while index < len(current) and len(current) > 1:
+        candidate = current[:index] + current[index + 1:]
+        if check(candidate):
+            current = candidate
+        else:
+            index += 1
+
+    result.events = current
+    return result
+
+
+def make_reproducer(
+    seed: int,
+    config,
+    invariant: str,
+) -> Callable[[list[FaultEvent]], bool]:
+    """A ``reproduces`` predicate for :func:`shrink_schedule`: replay
+    the seeded workload under the candidate schedule and ask whether
+    any violation of ``invariant`` survives."""
+    from repro.chaos.runner import run_episode
+
+    def reproduces(candidate: list[FaultEvent]) -> bool:
+        report = run_episode(seed, config=config, events=candidate)
+        return any(
+            violation.invariant == invariant
+            for violation in report.violations
+        )
+
+    return reproduces

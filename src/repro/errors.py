@@ -49,3 +49,20 @@ class BucketUnavailableError(SDDSError, RuntimeError):
     the file has no parity to answer from (plain LH*), or when more
     buckets of a parity group are down than the parity count covers.
     """
+
+
+class UnknownNodeError(SDDSError, KeyError):
+    """A network operation named a node id that is not attached.
+
+    Raised by :meth:`repro.net.simulator.Network.send` (and the other
+    topology entry points) instead of the historic bare ``KeyError``,
+    so callers can catch the whole :class:`SDDSError` family.  The
+    ``KeyError`` base is kept for callers that predate the typed
+    hierarchy.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its single argument, which would wrap
+        # the message in quotes; report it verbatim like the rest of
+        # the family.
+        return Exception.__str__(self)

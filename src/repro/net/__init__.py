@@ -30,6 +30,7 @@ from repro.net.simulator import (
     Network,
     Node,
     Timer,
+    wire_checksum,
 )
 from repro.net.stats import NetworkStats
 
@@ -47,4 +48,5 @@ __all__ = [
     "RetryPolicy",
     "RetryExhaustedError",
     "RELIABLE_KINDS",
+    "wire_checksum",
 ]

@@ -103,15 +103,19 @@ class FaultModel:
         seed: int = 0,
         loss_rate: float = 0.0,
         duplication_rate: float = 0.0,
+        corruption_rate: float = 0.0,
         reliable_kinds: frozenset[str] | None = None,
     ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError("loss rate must lie in [0, 1]")
         if not 0.0 <= duplication_rate <= 1.0:
             raise ValueError("duplication rate must lie in [0, 1]")
+        if not 0.0 <= corruption_rate <= 1.0:
+            raise ValueError("corruption rate must lie in [0, 1]")
         self.seed = seed
         self.loss_rate = loss_rate
         self.duplication_rate = duplication_rate
+        self.corruption_rate = corruption_rate
         self.reliable_kinds = (
             RELIABLE_KINDS if reliable_kinds is None
             else frozenset(reliable_kinds)
@@ -133,10 +137,28 @@ class FaultModel:
             and self._rng.random() < self.duplication_rate
         )
 
+    def corrupts(self) -> bool:
+        """Decide corruption for the next delivered eligible copy.
+
+        Drawn only when ``corruption_rate`` is positive, so a model
+        with corruption disabled consumes exactly the same random
+        stream as one built before corruption existed — old seeds keep
+        their byte-identical schedules.
+        """
+        return (
+            self.corruption_rate > 0
+            and self._rng.random() < self.corruption_rate
+        )
+
+    def corrupt_bit(self) -> int:
+        """Which bit of the wire checksum the in-flight flip damages."""
+        return self._rng.randrange(32)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultModel(seed={self.seed}, loss_rate={self.loss_rate}, "
-            f"duplication_rate={self.duplication_rate})"
+            f"duplication_rate={self.duplication_rate}, "
+            f"corruption_rate={self.corruption_rate})"
         )
 
 
@@ -154,6 +176,7 @@ class UnreliableNetwork(Network):
         seed: int = 0,
         loss_rate: float = 0.0,
         duplication_rate: float = 0.0,
+        corruption_rate: float = 0.0,
         latency: LatencyModel | None = None,
         reliable_kinds: frozenset[str] | None = None,
     ) -> None:
@@ -163,6 +186,7 @@ class UnreliableNetwork(Network):
                 seed=seed,
                 loss_rate=loss_rate,
                 duplication_rate=duplication_rate,
+                corruption_rate=corruption_rate,
                 reliable_kinds=reliable_kinds,
             ),
         )
@@ -181,11 +205,22 @@ class RetryPolicy:
     round-trip (sub-millisecond, at most a few tens of milliseconds
     under jitter), so on a reliable network timers are always
     cancelled before firing and the policy is free.
+
+    ``jitter`` decorrelates concurrent clients: with the default pure
+    exponential backoff, clients that time out together retransmit in
+    lockstep — a synchronized retry storm that re-loses every copy
+    under bursty loss.  A positive ``jitter`` stretches each delay by
+    a seeded random factor in ``[1, 1 + jitter]``, drawn from the
+    policy's own ``random.Random(seed)`` stream, so retries spread
+    out while remaining fully reproducible.  The default (``jitter=0``)
+    returns exactly the historic deterministic schedule.
     """
 
     timeout: float = 0.25
     backoff: float = 2.0
     max_retries: int = 8
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -194,10 +229,23 @@ class RetryPolicy:
             raise ValueError("backoff factor must be >= 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        # The dataclass is frozen; stash the RNG around the guard.  A
+        # single shared stream across all delay() callers is what does
+        # the decorrelating: concurrent clients interleave draws.
+        object.__setattr__(self, "_rng", random.Random(self.seed))
 
     def delay(self, attempt: int) -> float:
-        """Wait before retransmission number ``attempt`` (1-based)."""
-        return self.timeout * self.backoff ** attempt
+        """Wait before retransmission number ``attempt`` (1-based).
+
+        With ``jitter == 0`` (the default) this is the exact historic
+        value ``timeout * backoff**attempt`` and draws nothing.
+        """
+        base = self.timeout * self.backoff ** attempt
+        if self.jitter == 0:
+            return base
+        return base * (1.0 + self.jitter * self._rng.random())
 
 
 class CrashFaultModel:

@@ -14,13 +14,64 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import zlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
+from repro.errors import UnknownNodeError
 from repro.net.stats import NetworkStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.faults import CrashFaultModel, FaultModel
+
+
+def _stable_bytes(value: Any) -> bytes:
+    """A deterministic byte encoding of a message's checksummable view.
+
+    Scalars and containers encode by value; opaque objects (records,
+    matcher callables) contribute only their type name — the transport
+    cannot see into them, and the checksum only needs to be a pure
+    function of the message that both the sender and the receiver
+    compute identically.  Deliberately free of ``repr`` of arbitrary
+    objects (which can embed memory addresses) so the value is stable
+    across processes.
+    """
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, bool):
+        return b"?1" if value else b"?0"
+    if isinstance(value, int):
+        return b"i%d" % value
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8", "backslashreplace")
+    if value is None:
+        return b"n"
+    if isinstance(value, (list, tuple)):
+        return b"l" + b"".join(_stable_bytes(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return b"S" + b"".join(
+            sorted(_stable_bytes(item) for item in value)
+        )
+    if isinstance(value, dict):
+        return b"d" + b"".join(
+            _stable_bytes(key) + _stable_bytes(item)
+            for key, item in value.items()
+        )
+    return b"o" + type(value).__name__.encode("ascii", "replace")
+
+
+def wire_checksum(kind: str, payload: dict[str, Any], size: int) -> int:
+    """The lightweight wire checksum of one message (CRC-32).
+
+    Stamped by :meth:`Network.send` whenever payload corruption is
+    possible and re-computed at delivery: a mismatch means the payload
+    was damaged in flight, and the receiver discards the message (the
+    sender's timeout/retry path redelivers).  Never zero — zero is the
+    "not stamped" sentinel on :class:`Message`.
+    """
+    return zlib.crc32(_stable_bytes((kind, size, payload))) or 1
 
 
 @dataclass(frozen=True)
@@ -87,6 +138,10 @@ class Message:
     hops: int = 0
     send_time: float = 0.0
     arrival_time: float = 0.0
+    #: Wire checksum stamped at send time (0 = not stamped).  A
+    #: corrupted copy carries a checksum that no longer matches its
+    #: payload, so delivery-time verification discards it.
+    checksum: int = 0
 
 
 class Timer:
@@ -172,6 +227,11 @@ class Network:
         #: restore events interleave with the workload instead of
         #: being drained up front by the first run-to-quiescence.
         self.crashes = crashes
+        #: Additional lazily-advanced fault schedules (duck-typed:
+        #: ``advance(network, until)``), consulted exactly like
+        #: :attr:`crashes` before each queued event — this is where a
+        #: :class:`repro.chaos.nemesis.Nemesis` plugs in.
+        self.schedules: list[Any] = []
         #: Optional observability hook (duck-typed; see
         #: :class:`repro.obs.metrics.NetworkMetricsObserver`): called
         #: as ``on_send(kind, size)`` for every message charged to the
@@ -194,6 +254,10 @@ class Network:
         self._crashed: set[Hashable] = set()
         #: Timers frozen while their owner is down, re-armed on restore.
         self._frozen_timers: dict[Hashable, list[Timer]] = {}
+        #: Severed directed links (see :meth:`partition`): a message is
+        #: lost — billed as ``partitioned_drops`` — when its (src, dst)
+        #: link is severed at the instant it would arrive.
+        self._partitions: set[tuple[Hashable, Hashable]] = set()
 
     # -- topology -----------------------------------------------------------
 
@@ -206,6 +270,8 @@ class Network:
         return node
 
     def detach(self, node_id: Hashable) -> None:
+        if node_id not in self.nodes:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
         node = self.nodes.pop(node_id)
         node.network = None
         # Purge per-link FIFO state: a detached node's links are gone,
@@ -220,6 +286,13 @@ class Network:
         # node's state).
         self._crashed.discard(node_id)
         self._frozen_timers.pop(node_id, None)
+        # Partitions are per-link too: a re-attach under the same id
+        # must not inherit a stale severed link.
+        if self._partitions:
+            self._partitions = {
+                link for link in self._partitions
+                if node_id not in link
+            }
 
     def __contains__(self, node_id: Hashable) -> bool:
         return node_id in self.nodes
@@ -236,7 +309,7 @@ class Network:
         Crashing an already-crashed node is a no-op.
         """
         if node_id not in self.nodes:
-            raise KeyError(f"unknown node {node_id!r}")
+            raise UnknownNodeError(f"unknown node {node_id!r}")
         self._crashed.add(node_id)
 
     def restore(self, node_id: Hashable) -> bool:
@@ -265,6 +338,81 @@ class Network:
     def is_crashed(self, node_id: Hashable) -> bool:
         return node_id in self._crashed
 
+    # -- partitions -----------------------------------------------------------
+
+    @staticmethod
+    def _as_group(group: Any) -> list[Hashable]:
+        """Normalise a partition argument to a list of node ids.
+
+        Node ids are themselves tuples (``("bucket", name, addr)``), so
+        only genuine collections — lists, sets, frozensets, iterators —
+        are treated as groups; a tuple, string, or any other value is a
+        single node id.
+        """
+        if isinstance(group, list):
+            return group
+        if isinstance(group, (set, frozenset)):
+            return sorted(group, key=repr)
+        if isinstance(group, (tuple, str)) or not isinstance(
+            group, Iterable
+        ):
+            return [group]
+        return list(group)
+
+    def partition(
+        self,
+        group_a: Any,
+        group_b: Any,
+        symmetric: bool = True,
+    ) -> None:
+        """Sever the links between ``group_a`` and ``group_b``.
+
+        Each argument is a single node id or a collection of node ids
+        (node ids being tuples, pass lists/sets for groups).  Messages
+        crossing a severed link are lost at the instant they would
+        arrive — the datagram is already on the wire when the cable is
+        cut — and billed to
+        :attr:`~repro.net.stats.NetworkStats.partitioned_drops`.
+        With ``symmetric=False`` only the a→b direction is severed
+        (asymmetric partitions: b can still reach a).  Partitioning is
+        idempotent and does not require the ids to be attached.
+        """
+        for a in self._as_group(group_a):
+            for b in self._as_group(group_b):
+                if a == b:
+                    continue
+                self._partitions.add((a, b))
+                if symmetric:
+                    self._partitions.add((b, a))
+
+    def heal(
+        self,
+        group_a: Any | None = None,
+        group_b: Any | None = None,
+        symmetric: bool = True,
+    ) -> None:
+        """Restore severed links.
+
+        With no arguments every partition heals.  With both groups the
+        exact links :meth:`partition` severed are restored (again
+        direction-aware under ``symmetric=False``).  Healing a link
+        that was never severed is a no-op.
+        """
+        if group_a is None and group_b is None:
+            self._partitions.clear()
+            return
+        if group_a is None or group_b is None:
+            raise ValueError("heal takes no groups or both groups")
+        for a in self._as_group(group_a):
+            for b in self._as_group(group_b):
+                self._partitions.discard((a, b))
+                if symmetric:
+                    self._partitions.discard((b, a))
+
+    def is_partitioned(self, src: Hashable, dst: Hashable) -> bool:
+        """Whether the directed link ``src``→``dst`` is severed."""
+        return (src, dst) in self._partitions
+
     # -- messaging ------------------------------------------------------------
 
     def send(
@@ -285,13 +433,14 @@ class Network:
         undeliverable husk (``arrival_time = inf``) when dropped.
         """
         if dst not in self.nodes:
-            raise KeyError(f"unknown destination node {dst!r}")
+            raise UnknownNodeError(f"unknown destination node {dst!r}")
         payload = payload or {}
         self.stats.record(kind, size)
         observer = self.observer
         if observer is not None:
             observer.on_send(kind, size)
         copies = 1
+        base_checksum = 0
         faults = self.faults
         if faults is not None and faults.applies(kind):
             if faults.drops():
@@ -305,6 +454,11 @@ class Network:
                 )
             if faults.duplicates():
                 copies = 2
+            if faults.corruption_rate > 0:
+                # Stamp the wire checksum only when corruption is
+                # possible: a zero corruption rate stays byte-identical
+                # to the historic behaviour (no draws, no hashing).
+                base_checksum = wire_checksum(kind, payload, size)
         first: Message | None = None
         for copy in range(copies):
             if copy:
@@ -312,6 +466,18 @@ class Network:
                 self.stats.duplicated += 1
                 if observer is not None:
                     observer.on_send(kind, size)
+            checksum = base_checksum
+            if base_checksum and faults.corrupts():
+                # A payload bit flipped in flight: model it by damaging
+                # the stamp instead of the (Python-object) payload, so
+                # delivery-time verification fails exactly as it would
+                # for a real flipped payload byte.
+                checksum ^= 1 << faults.corrupt_bit()
+                if checksum == 0:
+                    # The flip collided with the stamp: keep the copy
+                    # visibly damaged rather than reverting to the
+                    # "not stamped" sentinel.
+                    checksum = 0xFFFFFFFF
             arrival = self.now + self.latency.latency(size)
             link = (src, dst)
             floor = self._link_clock.get(link)
@@ -327,6 +493,7 @@ class Network:
                 hops=hops,
                 send_time=self.now,
                 arrival_time=arrival,
+                checksum=checksum,
             )
             heapq.heappush(
                 self._queue,
@@ -378,6 +545,10 @@ class Network:
                 # item's time: the crash schedule advances with the
                 # traffic, never ahead of it.
                 self.crashes.advance(self, arrival)
+            for schedule in self.schedules:
+                # Additional lazily-advanced schedules (the chaos
+                # nemesis) compose the same way.
+                schedule.advance(self, arrival)
             if isinstance(item, Timer):
                 if item.cancelled:
                     # Disarmed before firing: discard silently, without
@@ -397,11 +568,31 @@ class Network:
                 processed += 1
                 continue
             self.now = max(self.now, arrival)
+            if (item.src, item.dst) in self._partitions:
+                # The link was severed at the instant the message would
+                # have arrived: the datagram dies on the cut cable.
+                self.stats.partitioned_drops += 1
+                if self.observer is not None:
+                    self.observer.on_drop(item.kind, item.size)
+                processed += 1
+                continue
             if item.dst in self._crashed or item.dst not in self.nodes:
                 # Dead (or meanwhile detached) destination: the message
                 # crossed the wire and dies here.  Bill it so no
                 # recovery byte goes missing from the accounting.
                 self.stats.crashed_drops += 1
+                if self.observer is not None:
+                    self.observer.on_drop(item.kind, item.size)
+                processed += 1
+                continue
+            if item.checksum and item.checksum != wire_checksum(
+                item.kind, item.payload, item.size
+            ):
+                # The stamp no longer matches the payload: corruption
+                # in flight.  The receiver discards the message and the
+                # sender's timeout/retry path pays for the redelivery —
+                # corruption degrades cost, never correctness.
+                self.stats.corrupted += 1
                 if self.observer is not None:
                     self.observer.on_drop(item.kind, item.size)
                 processed += 1

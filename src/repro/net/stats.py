@@ -35,6 +35,16 @@ class NetworkStats:
     #: like any sent message: the datagram crossed the wire and died at
     #: the dead host's door.
     crashed_drops: int = 0
+    #: Messages lost to a network partition: the link between source
+    #: and destination was severed at the instant the message would
+    #: have arrived.  Charged in ``messages``/``bytes`` like any sent
+    #: message.
+    partitioned_drops: int = 0
+    #: Messages whose payload was corrupted in flight and discarded by
+    #: the receiver's wire-checksum verification.  Charged in
+    #: ``messages``/``bytes``; the sender's timeout/retry path pays
+    #: for the redelivery.
+    corrupted: int = 0
 
     def record(self, kind: str, size: int) -> None:
         self.messages += 1
@@ -53,6 +63,8 @@ class NetworkStats:
             duplicated=self.duplicated,
             retries=self.retries,
             crashed_drops=self.crashed_drops,
+            partitioned_drops=self.partitioned_drops,
+            corrupted=self.corrupted,
         )
 
     def diff(self, older: "NetworkStats") -> "NetworkStats":
@@ -80,6 +92,10 @@ class NetworkStats:
             duplicated=self.duplicated - older.duplicated,
             retries=self.retries - older.retries,
             crashed_drops=self.crashed_drops - older.crashed_drops,
+            partitioned_drops=(
+                self.partitioned_drops - older.partitioned_drops
+            ),
+            corrupted=self.corrupted - older.corrupted,
         )
 
     def delta(self, earlier: "NetworkStats") -> "NetworkStats":
@@ -95,3 +111,5 @@ class NetworkStats:
         self.duplicated = 0
         self.retries = 0
         self.crashed_drops = 0
+        self.partitioned_drops = 0
+        self.corrupted = 0

@@ -64,6 +64,8 @@ STAT_FIELDS = (
     "duplicated",
     "retries",
     "crashed_drops",
+    "partitioned_drops",
+    "corrupted",
 )
 
 
@@ -387,6 +389,10 @@ def render_tree(spans: Iterable[Span]) -> str:
             cost += f", {stats.duplicated} dup'd"
         if stats.crashed_drops:
             cost += f", {stats.crashed_drops} crash-dropped"
+        if stats.partitioned_drops:
+            cost += f", {stats.partitioned_drops} partition-dropped"
+        if stats.corrupted:
+            cost += f", {stats.corrupted} corrupted"
         return f"{head}  {cost}]"
 
     def walk(span: Span, prefix: str, is_last: bool, top: bool) -> None:

@@ -1,0 +1,226 @@
+"""Nemesis schedules: composition, windows, serialization."""
+
+import io
+
+import pytest
+
+from repro.chaos.nemesis import (
+    FaultEvent,
+    Nemesis,
+    NemesisProfile,
+    compose_schedule,
+    dump_schedule,
+    load_schedule,
+    register_action,
+)
+from repro.net import FaultModel, LatencyModel, Message, Network, Node
+
+
+class Collector(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received: list[Message] = []
+
+    def handle(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def chaos_net(*names):
+    net = Network(faults=FaultModel())
+    for name in names or ("a", "b"):
+        net.attach(Collector(name))
+    return net
+
+
+class TestCompose:
+    def test_same_seed_same_schedule(self):
+        profile = NemesisProfile()
+        pairs = [([("c",)], [("bucket", "f", 0)])]
+        targets = [("bucket", "f", 0), ("bucket", "f", 1)]
+        a = compose_schedule(7, profile, targets, pairs)
+        b = compose_schedule(7, profile, targets, pairs)
+        assert a == b
+        assert a != compose_schedule(8, profile, targets, pairs)
+
+    def test_all_classes_present(self):
+        events = compose_schedule(
+            3, NemesisProfile(),
+            crash_targets=[("bucket", "f", 0)],
+            partition_pairs=[([("c",)], [("bucket", "f", 0)])],
+        )
+        assert {event.action for event in events} == {
+            "loss", "duplication", "corruption", "latency",
+            "partition", "crash",
+        }
+
+    def test_windows_respect_profile_span(self):
+        profile = NemesisProfile(warmup=5.0, horizon=9.0)
+        events = compose_schedule(1, profile)
+        assert events
+        assert all(5.0 <= event.at <= 9.0 for event in events)
+
+    def test_zeroed_class_is_absent(self):
+        profile = NemesisProfile(loss_rate=0.0, loss_windows=0)
+        events = compose_schedule(1, profile)
+        assert not [e for e in events if e.action == "loss"]
+
+
+class TestWindows:
+    def test_rate_window_opens_and_restores(self):
+        net = chaos_net()
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="loss", duration=2.0,
+                       params={"rate": 0.5}),
+        ]).attach(net)
+        nemesis.advance(net, 0.5)
+        assert net.faults.loss_rate == 0.0
+        nemesis.advance(net, 1.5)
+        assert net.faults.loss_rate == 0.5
+        nemesis.advance(net, 4.0)
+        assert net.faults.loss_rate == 0.0
+        assert nemesis.applied == 1
+
+    def test_overlapping_windows_take_max(self):
+        net = chaos_net()
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="loss", duration=4.0,
+                       params={"rate": 0.2}),
+            FaultEvent(at=2.0, action="loss", duration=1.0,
+                       params={"rate": 0.6}),
+        ]).attach(net)
+        nemesis.advance(net, 2.5)
+        assert net.faults.loss_rate == 0.6
+        nemesis.advance(net, 3.5)
+        assert net.faults.loss_rate == 0.2
+
+    def test_latency_spike_restores_base_model(self):
+        net = chaos_net()
+        base = net.latency
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="latency", duration=1.0,
+                       params={"extra": 0.05}),
+        ]).attach(net)
+        nemesis.advance(net, 1.2)
+        assert net.latency.latency(0) == pytest.approx(
+            base.latency(0) + 0.05
+        )
+        nemesis.advance(net, 3.0)
+        assert net.latency is base
+
+    def test_partition_window_heals_on_close(self):
+        net = chaos_net("a", "b")
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="partition", duration=1.0,
+                       params={"a": ["a"], "b": ["b"],
+                               "symmetric": True}),
+        ]).attach(net)
+        nemesis.advance(net, 1.5)
+        assert net.is_partitioned("a", "b")
+        nemesis.advance(net, 2.5)
+        assert not net.is_partitioned("a", "b")
+
+    def test_partition_groups_retuplified_from_json(self):
+        """Node ids round-trip JSON as nested lists; the handler must
+        turn each *element* back into a tuple id."""
+        node_id = ("bucket", "f", 0)
+        net = Network(faults=FaultModel())
+        net.attach(Collector("c"))
+        net.attach(Collector(node_id))
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="partition", duration=1.0,
+                       params={"a": ["c"],
+                               "b": [["bucket", "f", 0]],
+                               "symmetric": True}),
+        ]).attach(net)
+        nemesis.advance(net, 1.5)
+        assert net.is_partitioned("c", node_id)
+
+    def test_crash_window_with_gate_veto(self):
+        net = chaos_net("a", "b")
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="crash", duration=1.0,
+                       params={"node": "a"}),
+            FaultEvent(at=1.0, action="crash", duration=1.0,
+                       params={"node": "b"}),
+        ]).attach(net)
+        nemesis.gate = lambda node_id: node_id != "b"
+        nemesis.advance(net, 1.5)
+        assert net.is_crashed("a")
+        assert not net.is_crashed("b")
+        assert nemesis.crashes == 1
+        assert nemesis.skipped_crashes == 1
+        nemesis.advance(net, 3.0)
+        assert not net.is_crashed("a")
+        assert nemesis.restores == 1
+
+    def test_quiesce_closes_everything(self):
+        net = chaos_net("a", "b")
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="loss", duration=50.0,
+                       params={"rate": 0.9}),
+            FaultEvent(at=1.0, action="partition", duration=50.0,
+                       params={"a": ["a"], "b": ["b"],
+                               "symmetric": True}),
+            FaultEvent(at=99.0, action="loss", duration=1.0,
+                       params={"rate": 0.9}),
+        ]).attach(net)
+        nemesis.advance(net, 2.0)
+        nemesis.quiesce(net)
+        assert net.faults.loss_rate == 0.0
+        assert not net.is_partitioned("a", "b")
+        assert nemesis.expired == 1
+
+    def test_attach_requires_fault_model(self):
+        with pytest.raises(ValueError):
+            Nemesis([]).attach(Network())
+
+    def test_unknown_action_rejected(self):
+        net = chaos_net()
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="flood", duration=0.0),
+        ]).attach(net)
+        with pytest.raises(ValueError, match="unknown nemesis"):
+            nemesis.advance(net, 2.0)
+
+    def test_custom_action_registry(self):
+        fired = []
+        register_action(
+            "beacon",
+            lambda nemesis, network, event: fired.append("open"),
+            lambda nemesis, network, event: fired.append("close"),
+        )
+        net = chaos_net()
+        nemesis = Nemesis([
+            FaultEvent(at=1.0, action="beacon", duration=1.0),
+        ]).attach(net)
+        nemesis.advance(net, 3.0)
+        assert fired == ["open", "close"]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        events = compose_schedule(
+            5, NemesisProfile(),
+            crash_targets=[("bucket", "f", 0)],
+            partition_pairs=[
+                ([["client", "f", 0]], [["bucket", "f", 1]])
+            ],
+        )
+        buffer = io.StringIO()
+        dump_schedule(events, buffer)
+        buffer.seek(0)
+        assert load_schedule(buffer) == events
+
+    def test_round_trip_through_file(self, tmp_path):
+        events = [
+            FaultEvent(at=1.5, action="loss", duration=0.5,
+                       params={"rate": 0.3}),
+        ]
+        path = tmp_path / "schedule.json"
+        dump_schedule(events, str(path))
+        assert load_schedule(str(path)) == events
+
+    def test_version_checked(self):
+        buffer = io.StringIO('{"version": 99, "events": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_schedule(buffer)

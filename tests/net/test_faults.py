@@ -117,6 +117,29 @@ class TestDuplication:
         first, second = sink.received
         assert first.arrival_time < second.arrival_time
 
+    def test_duplicate_preserves_same_link_fifo(self):
+        """A landed duplicate pushes the link clock forward, so a
+        later send on the same link still arrives after it."""
+        net, sink = lossy_net(duplication_rate=1.0)
+        net.send("src", "sink", "data", {"n": 1})
+        net.send("src", "sink", "data", {"n": 2})
+        net.run()
+        order = [m.payload["n"] for m in sink.received]
+        assert order == [1, 1, 2, 2]
+        times = [m.arrival_time for m in sink.received]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_every_wire_copy_billed(self):
+        """Messaging cost counts datagrams, not logical sends."""
+        net, _ = lossy_net(duplication_rate=1.0)
+        for _ in range(5):
+            net.send("src", "sink", "data", size=64)
+        net.run()
+        assert net.stats.messages == 10
+        assert net.stats.bytes == 640
+        assert net.stats.duplicated == 5
+
 
 class TestZeroRatesAreFree:
     def test_identical_to_reliable_network(self):
@@ -162,3 +185,39 @@ class TestRetryPolicy:
     def test_flat_backoff_allowed(self):
         policy = RetryPolicy(timeout=0.1, backoff=1.0)
         assert policy.delay(5) == pytest.approx(0.1)
+
+
+class TestRetryJitter:
+    def test_default_is_exact_exponential(self):
+        """jitter=0 must reproduce the historic deterministic delays
+        bit-for-bit — no RNG draw on this path."""
+        policy = RetryPolicy(timeout=0.1, backoff=2.0)
+        assert policy.delay(0) == 0.1
+        assert policy.delay(3) == 0.1 * 2.0 ** 3
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_jittered_delay_bounded(self):
+        policy = RetryPolicy(timeout=0.1, backoff=2.0, jitter=0.5,
+                             seed=7)
+        for attempt in range(6):
+            base = 0.1 * 2.0 ** attempt
+            delay = policy.delay(attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_jitter_decorrelates_attempts(self):
+        policy = RetryPolicy(timeout=0.1, backoff=1.0, jitter=1.0,
+                             seed=7)
+        delays = [policy.delay(0) for _ in range(8)]
+        assert len(set(delays)) > 1
+
+    def test_jitter_is_seed_deterministic(self):
+        def sequence(seed):
+            policy = RetryPolicy(timeout=0.1, backoff=2.0,
+                                 jitter=0.5, seed=seed)
+            return [policy.delay(a % 4) for a in range(12)]
+
+        assert sequence(11) == sequence(11)
+        assert sequence(11) != sequence(12)

@@ -1,0 +1,164 @@
+"""Link-level partitions: severed links, billing, and recovery."""
+
+import pytest
+
+from repro.errors import SDDSError, UnknownNodeError
+from repro.net import Message, Network, Node
+
+
+class Collector(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received: list[Message] = []
+
+    def handle(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def pair():
+    net = Network()
+    a = net.attach(Collector("a"))
+    b = net.attach(Collector("b"))
+    return net, a, b
+
+
+class TestPartitionApi:
+    def test_symmetric_by_default(self):
+        net, _, _ = pair()
+        net.partition("a", "b")
+        assert net.is_partitioned("a", "b")
+        assert net.is_partitioned("b", "a")
+
+    def test_asymmetric(self):
+        net, _, _ = pair()
+        net.partition("a", "b", symmetric=False)
+        assert net.is_partitioned("a", "b")
+        assert not net.is_partitioned("b", "a")
+
+    def test_groups_of_ids(self):
+        net = Network()
+        for name in ("a", "b", "c", "d"):
+            net.attach(Collector(name))
+        net.partition(["a", "b"], ["c", "d"])
+        assert net.is_partitioned("a", "c")
+        assert net.is_partitioned("b", "d")
+        assert not net.is_partitioned("a", "b")
+
+    def test_tuple_is_a_single_node_id(self):
+        """Node ids are tuples; only real collections are groups."""
+        net = Network()
+        net.attach(Collector(("bucket", "f", 0)))
+        net.attach(Collector(("bucket", "f", 1)))
+        net.partition(("bucket", "f", 0), ("bucket", "f", 1))
+        assert net.is_partitioned(("bucket", "f", 0),
+                                  ("bucket", "f", 1))
+
+    def test_heal_specific_and_all(self):
+        net, _, _ = pair()
+        net.partition("a", "b")
+        net.heal("a", "b")
+        assert not net.is_partitioned("a", "b")
+        net.partition("a", "b")
+        net.heal()
+        assert not net.is_partitioned("a", "b")
+
+    def test_heal_needs_both_groups_or_none(self):
+        net, _, _ = pair()
+        with pytest.raises(ValueError):
+            net.heal("a")
+
+    def test_self_link_never_severed(self):
+        net, _, _ = pair()
+        net.partition(["a", "b"], ["a", "b"])
+        assert not net.is_partitioned("a", "a")
+        assert net.is_partitioned("a", "b")
+
+
+class TestPartitionDelivery:
+    def test_message_dropped_and_billed(self):
+        net, _, b = pair()
+        net.partition("a", "b")
+        net.send("a", "b", "data", size=100)
+        assert net.run() == 0
+        assert b.received == []
+        assert net.stats.partitioned_drops == 1
+        # Charged to the sender like any wire message.
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 100
+
+    def test_asymmetric_leaves_reverse_path(self):
+        net, a, b = pair()
+        net.partition("a", "b", symmetric=False)
+        net.send("a", "b", "data")
+        net.send("b", "a", "data")
+        assert net.run() == 1
+        assert a.received and not b.received
+
+    def test_checked_at_arrival_instant(self):
+        """A message in flight when the cable is cut is lost; one in
+        flight when it is spliced back is delivered."""
+        net, _, b = pair()
+        net.send("a", "b", "doomed")
+        net.partition("a", "b")
+        assert net.run() == 0
+        assert net.stats.partitioned_drops == 1
+        net.send("a", "b", "saved")
+        net.heal()
+        assert net.run() == 1
+        assert [m.kind for m in b.received] == ["saved"]
+
+    def test_detach_purges_partitions(self):
+        net, _, _ = pair()
+        net.partition("a", "b")
+        net.detach("a")
+        net.attach(Collector("a"))
+        assert not net.is_partitioned("a", "b")
+
+    def test_client_retry_survives_partition_window(self):
+        """An LH* keyed op retried across a heal completes exactly."""
+        from repro.net import FaultModel, RetryPolicy
+        from repro.sdds.lhstar import LHStarFile
+
+        net = Network(faults=FaultModel())
+        file = LHStarFile(
+            name="f", network=net, bucket_capacity=8,
+            retry_policy=RetryPolicy(timeout=0.05, backoff=2.0,
+                                     max_retries=6),
+        )
+        file.insert(1, b"alpha")
+        net.partition(file.client.node_id, [file.bucket_id(0)])
+        # Heal mid-retry: schedule the splice as a timer so the
+        # client's backoff finds the link restored.
+        net.schedule(0.2, net.heal)
+        file.insert(2, b"beta")
+        assert file.lookup(2) == b"beta"
+        assert net.stats.partitioned_drops > 0
+        assert net.stats.retries > 0
+
+
+class TestUnknownNodeError:
+    def test_send_raises_typed_error(self):
+        net, _, _ = pair()
+        with pytest.raises(UnknownNodeError):
+            net.send("a", "ghost", "data")
+
+    def test_crash_and_detach_raise_typed_error(self):
+        net, _, _ = pair()
+        with pytest.raises(UnknownNodeError):
+            net.crash("ghost")
+        with pytest.raises(UnknownNodeError):
+            net.detach("ghost")
+
+    def test_typed_error_is_both_families(self):
+        """SDDSError for new callers, KeyError for historic ones."""
+        net, _, _ = pair()
+        with pytest.raises(SDDSError):
+            net.send("a", "ghost", "data")
+        with pytest.raises(KeyError):
+            net.send("a", "ghost", "data")
+
+    def test_message_is_not_repr_quoted(self):
+        try:
+            Network().crash("ghost")
+        except UnknownNodeError as error:
+            assert str(error) == "unknown node 'ghost'"
