@@ -7,6 +7,8 @@ Layering (bottom-up):
 * :mod:`repro.core.encoder` — Stage-2 frequency-equalising lossy
   compression (§3, Figure 5).
 * :mod:`repro.core.dispersion` — Stage-3 GF-matrix dispersion (§4).
+* :mod:`repro.core.kernels` — fused codec tables: the batched
+  encode→encrypt→disperse→pack fast path and its cache registry.
 * :mod:`repro.core.index` — the pipeline composing the stages.
 * :mod:`repro.core.search` — aligned matching + hit aggregation.
 * :mod:`repro.core.scheme` — :class:`EncryptedSearchableStore`, the
@@ -28,6 +30,12 @@ from repro.core.errors import (
     SchemeError,
 )
 from repro.core.index import IndexPipeline
+from repro.core.kernels import (
+    FusedCodec,
+    clear_codec_cache,
+    codec_cache_size,
+    fused_codec,
+)
 from repro.core.scheme import (
     EncryptedSearchableStore,
     SearchResult,
@@ -50,6 +58,10 @@ __all__ = [
     "FrequencyEncoder",
     "census_chunks",
     "Disperser",
+    "FusedCodec",
+    "fused_codec",
+    "codec_cache_size",
+    "clear_codec_cache",
     "IndexPipeline",
     "SearchPlan",
     "SiteHit",

@@ -14,6 +14,8 @@ offsets across the k sites of a chunking group).
 from __future__ import annotations
 
 import random
+import sys
+from array import array
 
 from repro.core.errors import ConfigurationError
 from repro.gf import GF2, Matrix, default_cauchy_matrix, random_nonsingular_matrix
@@ -104,6 +106,14 @@ class Disperser:
     def disperse(self, value: int) -> tuple[int, ...]:
         """``d = c · E`` — the per-site pieces of one chunk."""
         if self._table is not None:
+            # The table path must enforce split()'s range check itself:
+            # a negative value would silently index from the end of the
+            # table instead of raising.
+            if not 0 <= value < (1 << self.chunk_bits):
+                raise ValueError(
+                    f"chunk value {value} outside {self.chunk_bits}-bit "
+                    "range"
+                )
             return self._table[value]
         return self.matrix.mul_vector(self.split(value))
 
@@ -114,6 +124,15 @@ class Disperser:
                 for value in range(1 << self.chunk_bits)
             ]
 
+    def dispersal_table(self) -> list[tuple[int, ...]] | None:
+        """The full ``value -> pieces`` table (chunk domains <= 16 bits).
+
+        Built lazily on first use; None for larger domains, where
+        callers must fall back to per-value :meth:`disperse`.
+        """
+        self._ensure_table()
+        return self._table
+
     def recover(self, pieces: tuple[int, ...]) -> int:
         """Invert :meth:`disperse` (requires all k pieces)."""
         if len(pieces) != self.k:
@@ -121,13 +140,28 @@ class Disperser:
         return self.join(self._inverse.mul_vector(tuple(pieces)))
 
     def disperse_stream(self, values: list[int]) -> list[list[int]]:
-        """Disperse a chunk stream; returns k per-site piece streams."""
-        self._ensure_table()
-        streams: list[list[int]] = [[] for __ in range(self.k)]
-        for value in values:
-            for i, piece in enumerate(self.disperse(value)):
-                streams[i].append(piece)
-        return streams
+        """Disperse a chunk stream; returns k per-site piece streams.
+
+        Table-driven for small chunk domains: one range check for the
+        whole stream, then a per-site comprehension over the dispersal
+        table instead of k GF dot products per value.
+        """
+        table = self.dispersal_table()
+        if table is None:
+            streams: list[list[int]] = [[] for __ in range(self.k)]
+            for value in values:
+                for i, piece in enumerate(self.disperse(value)):
+                    streams[i].append(piece)
+            return streams
+        if values and not 0 <= min(values) <= max(values) < len(table):
+            bad = min(values) if min(values) < 0 else max(values)
+            raise ValueError(
+                f"chunk value {bad} outside {self.chunk_bits}-bit range"
+            )
+        return [
+            [table[value][i] for value in values]
+            for i in range(self.k)
+        ]
 
     @property
     def piece_width(self) -> int:
@@ -135,11 +169,17 @@ class Disperser:
         return (self.piece_bits + 7) // 8
 
     def pack_stream(self, pieces: list[int]) -> bytes:
-        """Pack one site's piece stream at fixed byte width."""
+        """Pack one site's piece stream at fixed byte width.
+
+        Width 1 packs directly; width 2 goes through an ``array`` with
+        a byte swap on little-endian hosts — byte-identical to the old
+        per-piece ``to_bytes(2, "big")`` loop, without the per-piece
+        int allocation.
+        """
         width = self.piece_width
         if width == 1:
             return bytes(pieces)
-        out = bytearray()
-        for piece in pieces:
-            out += piece.to_bytes(width, "big")
-        return bytes(out)
+        packed = array("H", pieces)
+        if sys.byteorder == "little":
+            packed.byteswap()
+        return packed.tobytes()

@@ -24,6 +24,8 @@ top of this class.
 from __future__ import annotations
 
 import hashlib
+import sys
+from array import array
 from collections import Counter
 from typing import Iterable, Sequence
 
@@ -113,6 +115,10 @@ class FrequencyEncoder:
         self.assignment = dict(assignment)
         self.training_counts = training_counts or Counter()
         self.code_width = 1 if n_codes <= 256 else 2
+        # Total chunk -> code memo: starts as the trained assignment
+        # and absorbs the hash-derived codes of unseen chunks on first
+        # sight, so bulk encoding is one dict probe per chunk.
+        self._code_cache: dict[bytes, int] = dict(self.assignment)
 
     @classmethod
     def train(
@@ -138,24 +144,49 @@ class FrequencyEncoder:
             raise ValueError(
                 f"chunk of length {len(chunk)}, expected {self.chunk_size}"
             )
-        code = self.assignment.get(chunk)
+        code = self._code_cache.get(chunk)
         if code is None:
-            # Deterministic fallback for unseen chunks.
-            digest = hashlib.blake2b(chunk, digest_size=4).digest()
-            code = int.from_bytes(digest, "big") % self.n_codes
+            code = self._miss_code(chunk)
+        return code
+
+    def _miss_code(self, chunk: bytes) -> int:
+        """Deterministic fallback for unseen chunks, memoised."""
+        digest = hashlib.blake2b(chunk, digest_size=4).digest()
+        code = int.from_bytes(digest, "big") % self.n_codes
+        self._code_cache[chunk] = code
         return code
 
     def encode_chunks(self, chunks: Sequence[bytes]) -> list[int]:
-        return [self.encode_chunk(chunk) for chunk in chunks]
+        """Bulk :meth:`encode_chunk`: one memo probe per chunk.
+
+        Length validation happens on the miss path only — a chunk of
+        the wrong size can never be in the memo, so misbehaving input
+        still raises exactly like the scalar method.
+        """
+        cache = self._code_cache
+        miss = self._miss_code
+        size = self.chunk_size
+        out = []
+        append = out.append
+        for chunk in chunks:
+            code = cache.get(chunk)
+            if code is None:
+                if len(chunk) != size:
+                    raise ValueError(
+                        f"chunk of length {len(chunk)}, expected {size}"
+                    )
+                code = miss(chunk)
+            append(code)
+        return out
 
     def pack(self, codes: Sequence[int]) -> bytes:
         """Pack codes into the fixed-width byte stream."""
         if self.code_width == 1:
             return bytes(codes)
-        out = bytearray()
-        for code in codes:
-            out += code.to_bytes(2, "big")
-        return bytes(out)
+        packed = array("H", codes)
+        if sys.byteorder == "little":
+            packed.byteswap()
+        return packed.tobytes()
 
     def encode_symbols(self, text: bytes) -> bytes:
         """Per-symbol encoding of a whole text (chunk size must be 1).
@@ -167,22 +198,32 @@ class FrequencyEncoder:
             raise ConfigurationError(
                 "encode_symbols requires a chunk-size-1 encoder"
             )
-        return self.pack([self.encode_chunk(text[i:i + 1])
-                          for i in range(len(text))])
+        return self.pack(self.encode_chunks(
+            [text[i:i + 1] for i in range(len(text))]
+        ))
 
-    def encode_nonoverlapping(self, text: bytes, offset: int) -> bytes:
-        """Encode the offset-o non-overlapping chunking of ``text``,
-        dropping partial edge chunks (the paper's section-7 procedure).
+    def encode_values_nonoverlapping(
+        self, text: bytes, offset: int
+    ) -> list[int]:
+        """Code values of the offset-o non-overlapping chunking of
+        ``text``, dropping partial edge chunks — the unpacked form of
+        :meth:`encode_nonoverlapping`, vectorised over the stream.
         """
         if not 0 <= offset < self.chunk_size:
             raise ConfigurationError(
                 f"offset {offset} outside [0, {self.chunk_size})"
             )
-        codes = []
-        for start in range(offset, len(text) - self.chunk_size + 1,
-                           self.chunk_size):
-            codes.append(self.encode_chunk(text[start:start + self.chunk_size]))
-        return self.pack(codes)
+        size = self.chunk_size
+        return self.encode_chunks([
+            text[start:start + size]
+            for start in range(offset, len(text) - size + 1, size)
+        ])
+
+    def encode_nonoverlapping(self, text: bytes, offset: int) -> bytes:
+        """Encode the offset-o non-overlapping chunking of ``text``,
+        dropping partial edge chunks (the paper's section-7 procedure).
+        """
+        return self.pack(self.encode_values_nonoverlapping(text, offset))
 
     # -- introspection -----------------------------------------------------
 

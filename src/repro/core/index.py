@@ -10,18 +10,45 @@ Stream representation: every stored element (a dispersed piece, or the
 whole chunk value when k = 1) is packed big-endian at a fixed byte
 width, so index records are plain ``bytes`` and matching is C-level
 ``bytes.find`` with alignment checks (see :mod:`repro.core.search`).
+
+Two execution paths produce identical bytes:
+
+* the **reference path** — per-chunk ``encode_chunk``/``encrypt``/
+  ``disperse`` calls, the direct transliteration of the paper's
+  stages; and
+* the **fused fast path** — for small chunk domains, the per-group
+  :class:`repro.core.kernels.FusedCodec` table collapses
+  PRP + dispersion + packing into table lookups (see
+  ``docs/PERFORMANCE.md``).  ``fast_path=False`` pins the reference
+  path; the equivalence suite asserts byte-identical output.
+
+Query plans are memoised per pattern in a small LRU (repeated
+patterns — retried queries, batch workloads, chaos twins — skip the
+per-query needle rebuild entirely; ``kernels.plan.*`` metrics count
+hits).
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro.core.chunking import query_series, record_chunks
 from repro.core.config import SchemeParameters
 from repro.core.dispersion import Disperser
 from repro.core.encoder import FrequencyEncoder
 from repro.core.errors import ConfigurationError
+from repro.core.kernels import FusedCodec, fused_codec
 from repro.core.search import SearchPlan
 from repro.crypto.feistel import FeistelPRP
 from repro.crypto.keys import KeyHierarchy
+from repro.obs.metrics import inc as metric_inc
+
+#: Query plans memoised per pipeline (patterns, in bytes form).
+PLAN_CACHE_CAPACITY = 256
+
+#: Sentinel distinguishing "codec not yet built" from "no codec
+#: applicable" in the per-group codec slots.
+_UNBUILT = object()
 
 
 class IndexPipeline:
@@ -31,6 +58,7 @@ class IndexPipeline:
         self,
         params: SchemeParameters,
         encoder: FrequencyEncoder | None = None,
+        fast_path: bool = True,
     ) -> None:
         if (params.n_codes is None) != (encoder is None):
             raise ConfigurationError(
@@ -51,6 +79,7 @@ class IndexPipeline:
                 )
         self.params = params
         self.encoder = encoder
+        self.fast_path = fast_path
         keys = KeyHierarchy(params.master_key)
         self._prps: list[FeistelPRP | None] = []
         for index in range(params.layout.group_count):
@@ -66,6 +95,32 @@ class IndexPipeline:
             )
         else:
             self.disperser = None
+        self._codecs: list = [_UNBUILT] * params.layout.group_count
+        self._plan_cache: OrderedDict[bytes, SearchPlan] = OrderedDict()
+
+    # -- fused fast path ----------------------------------------------------
+
+    def codec(self, group_index: int) -> FusedCodec | None:
+        """The group's fused codec, built lazily; None when the chunk
+        domain is too large (or ``fast_path=False``) and the reference
+        path must run."""
+        if not self.fast_path:
+            return None
+        codec = self._codecs[group_index]
+        if codec is _UNBUILT:
+            codec = fused_codec(
+                prp=self._prps[group_index],
+                disperser=self.disperser,
+                piece_width=self.params.piece_width,
+                domain=self.params.value_domain,
+            )
+            self._codecs[group_index] = codec
+        return codec
+
+    def warm(self) -> None:
+        """Eagerly build every group's codec (bulk-load warmup)."""
+        for group_index in range(self.params.layout.group_count):
+            self.codec(group_index)
 
     # -- chunk values ------------------------------------------------------
 
@@ -75,9 +130,16 @@ class IndexPipeline:
             return self.encoder.encode_chunk(chunk)
         return int.from_bytes(chunk, "big")
 
+    def chunk_values(self, chunks: list[bytes]) -> list[int]:
+        """Bulk :meth:`chunk_value` over one chunk list."""
+        if self.encoder is not None:
+            return self.encoder.encode_chunks(chunks)
+        return [int.from_bytes(chunk, "big") for chunk in chunks]
+
     def _transform(self, chunks: list[bytes], group_index: int) -> list[int]:
-        """encode + encrypt one chunk list under one chunking's key."""
-        values = [self.chunk_value(chunk) for chunk in chunks]
+        """encode + encrypt one chunk list under one chunking's key
+        (the reference Stage-1/2 composition)."""
+        values = self.chunk_values(chunks)
         prp = self._prps[group_index]
         if prp is not None:
             values = [prp.encrypt(value) for value in values]
@@ -101,6 +163,16 @@ class IndexPipeline:
             for stream in self.disperser.disperse_stream(values)
         ]
 
+    def _group_streams(
+        self, chunks: list[bytes], group_index: int
+    ) -> list[bytes]:
+        """One chunking's per-site streams: fused when possible,
+        reference otherwise — byte-identical either way."""
+        codec = self.codec(group_index)
+        if codec is not None:
+            return codec.site_streams(self.chunk_values(chunks))
+        return self._site_streams(self._transform(chunks, group_index))
+
     # -- record side ----------------------------------------------------------
 
     def build_index_streams(
@@ -122,8 +194,9 @@ class IndexPipeline:
                 drop_partial=self.params.drop_partial_chunks,
                 symbol_width=self.params.symbol_width,
             )
-            values = self._transform(chunks, group_index)
-            for site, stream in enumerate(self._site_streams(values)):
+            for site, stream in enumerate(
+                self._group_streams(chunks, group_index)
+            ):
                 streams[(group_index, site)] = stream
         return streams
 
@@ -133,8 +206,28 @@ class IndexPipeline:
         """Needle streams for every (chunking, alignment, site).
 
         The same series must be prepared once per stored chunking
-        because each chunking encrypts under its own key.
+        because each chunking encrypts under its own key.  Plans are
+        memoised per pattern (LRU of :data:`PLAN_CACHE_CAPACITY`):
+        repeated patterns — retries, batch workloads, benchmark
+        sweeps — reuse the built needles without touching the codec.
         """
+        cached = self._plan_cache.get(pattern)
+        if cached is not None:
+            self._plan_cache.move_to_end(pattern)
+            metric_inc("kernels.plan.hit")
+            return cached
+        metric_inc("kernels.plan.miss")
+        plan = self._build_plan(pattern)
+        self._plan_cache[pattern] = plan
+        while len(self._plan_cache) > PLAN_CACHE_CAPACITY:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def plan_cache_size(self) -> int:
+        """Number of memoised query plans (diagnostics)."""
+        return len(self._plan_cache)
+
+    def _build_plan(self, pattern: bytes) -> SearchPlan:
         layout = self.params.layout
         width = self.params.symbol_width
         if len(pattern) % width:
@@ -150,9 +243,8 @@ class IndexPipeline:
                     pattern, layout.chunk_size, alignment,
                     symbol_width=width,
                 )
-                values = self._transform(chunks, group_index)
                 needles[(group_index, alignment)] = tuple(
-                    self._site_streams(values)
+                    self._group_streams(chunks, group_index)
                 )
         if self.params.aggregation == "any":
             required = 1

@@ -132,9 +132,13 @@ class EncryptedSearchableStore:
         retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
         group_size: int = 4,
         parity_count: int = 2,
+        fast_path: bool = True,
     ) -> None:
         self.params = params
-        self.pipeline = IndexPipeline(params, encoder)
+        # ``fast_path=False`` pins the reference per-chunk codec — the
+        # fused-kernel equivalence harness compares the two stores
+        # byte-for-byte (streams, answers and wire costs must match).
+        self.pipeline = IndexPipeline(params, encoder, fast_path=fast_path)
         self.network = network or Network()
         keys = KeyHierarchy(params.master_key)
         self._keys = keys
@@ -247,6 +251,10 @@ class EncryptedSearchableStore:
     def _bulk_load(
         self, records: dict[int, str], concurrency: int
     ) -> None:
+        # Build the fused codec tables up front (a no-op for large
+        # chunk domains) so the per-record loop below is pure table
+        # lookups from the first record on.
+        self.pipeline.warm()
         record_ops = []
         index_ops = []
         for rid, text in records.items():
@@ -659,7 +667,10 @@ class EncryptedSearchableStore:
         new_params = replace(self.params, master_key=new_master)
         new_keys = KeyHierarchy(new_master)
         new_cipher = CtrCipher(new_keys.record_store_key())
-        new_pipeline = IndexPipeline(new_params, self.pipeline.encoder)
+        new_pipeline = IndexPipeline(
+            new_params, self.pipeline.encoder,
+            fast_path=self.pipeline.fast_path,
+        )
         for rid, text in plaintexts.items():
             if text is None:
                 continue

@@ -29,6 +29,12 @@ from repro.crypto.prf import prf_int
 
 _DEFAULT_ROUNDS = 10
 
+#: Widest enclosing Feistel domain (in bits) for which a full
+#: permutation table may be materialised.  2^20 entries of machine
+#: ints is a few megabytes — beyond that the table would dominate
+#: memory and the per-value path wins anyway.
+MAX_TABLE_BITS = 20
+
 
 class FeistelPRP:
     """A keyed bijection on ``range(domain_size)``.
@@ -68,6 +74,9 @@ class FeistelPRP:
             self.key + b"|feistel|" + r.to_bytes(2, "big")
             for r in range(rounds)
         ]
+        # Lazily built full permutation table (value -> encrypt(value))
+        # for small domains; see :meth:`permutation_table`.
+        self._table: list[int] | None = None
 
     # -- the enclosing permutation on 2^width ------------------------------
 
@@ -91,6 +100,71 @@ class FeistelPRP:
         for r in range(self.rounds - 1, -1, -1):
             left, right = right ^ self._round(r, left), left
         return (left << self._half) | right
+
+    # -- batch fast path -----------------------------------------------------
+
+    def permutation_table(self) -> list[int] | None:
+        """The full ``value -> encrypt(value)`` table, or None.
+
+        Only materialised for enclosing widths up to
+        :data:`MAX_TABLE_BITS`.  Building it needs just
+        ``rounds * 2**(width/2)`` PRF evaluations — the HMAC round
+        function depends on one half only — followed by pure table
+        arithmetic, so a 16-bit domain costs ~2.5k HMACs instead of
+        the ~650k a per-value sweep would pay.  The result is
+        byte-identical to :meth:`encrypt` (same round values, same
+        cycle-walk), which the equivalence suite pins.
+        """
+        if self._table is None and self._width <= MAX_TABLE_BITS:
+            self._table = self._build_table()
+        return self._table
+
+    def _build_table(self) -> list[int]:
+        half = self._half
+        size = 1 << self._width
+        round_tables = [
+            [self._round(r, value) for value in range(1 << half)]
+            for r in range(self.rounds)
+        ]
+        lefts = [value >> half for value in range(size)]
+        rights = list(range(1 << half)) * (1 << half)
+        for table in round_tables:
+            lefts, rights = rights, [
+                left ^ table[right]
+                for left, right in zip(lefts, rights)
+            ]
+        perm = [
+            (left << half) | right
+            for left, right in zip(lefts, rights)
+        ]
+        domain = self.domain_size
+        if domain == size:
+            return perm
+        table = []
+        for value in range(domain):
+            image = perm[value]
+            while image >= domain:  # cycle-walking, via the table
+                image = perm[image]
+            table.append(image)
+        return table
+
+    def encrypt_stream(self, values: list[int]) -> list[int]:
+        """Batch :meth:`encrypt`, via the permutation table when small.
+
+        >>> prp = FeistelPRP(b"k" * 16, domain_size=2 ** 8)
+        >>> prp.encrypt_stream([1, 2, 3]) == [prp.encrypt(v)
+        ...                                   for v in (1, 2, 3)]
+        True
+        """
+        table = self.permutation_table()
+        if table is None:
+            return [self.encrypt(value) for value in values]
+        if values and not 0 <= min(values) <= max(values) < self.domain_size:
+            bad = min(values) if min(values) < 0 else max(values)
+            raise ValueError(
+                f"value {bad} outside domain [0, {self.domain_size})"
+            )
+        return [table[value] for value in values]
 
     # -- public API ---------------------------------------------------------
 

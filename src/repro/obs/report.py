@@ -20,7 +20,12 @@ Two tables:
   bytes), the view the LH* papers argue from.
 
 ``python -m repro.obs.report trace.jsonl`` renders both for an
-exported trace.
+exported trace.  A third table, :func:`cache_breakdown`, summarises
+the fused-codec and search-plan caches of
+:mod:`repro.core.kernels` from a metrics registry (hits, misses, hit
+rate, build time); ``python -m repro.obs.report trace.jsonl
+metrics.json`` appends it from a
+:meth:`~repro.obs.metrics.MetricsRegistry.dump_json` export.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ def _table(title: str, headers: list[str]) -> "TableResult":
     return TableResult(title=title, headers=headers)
 
 __all__ = [
+    "cache_breakdown",
     "cost_breakdown",
     "kind_breakdown",
     "render_report",
@@ -128,6 +134,53 @@ def kind_breakdown(
     return table
 
 
+def cache_breakdown(
+    metrics: dict,
+    title: str = "Fused-kernel cache census",
+) -> "TableResult":
+    """One row per kernel cache from a metrics mapping.
+
+    ``metrics`` is the mapping produced by
+    :meth:`repro.obs.metrics.MetricsRegistry.to_dict` (or parsed from
+    its JSON dump): the ``kernels.codec.*`` and ``kernels.plan.*``
+    instruments feed rows of hits, misses, hit rate, builds and build
+    seconds.  Caches that never ran render as zero rows, so the table
+    shape is stable.
+    """
+
+    def _value(name: str) -> float:
+        entry = metrics.get(name)
+        return entry.get("value", 0) if entry else 0
+
+    build = metrics.get("kernels.codec.build_seconds") or {}
+    table = _table(
+        title,
+        ["cache", "hits", "misses", "hit rate", "builds",
+         "build (s)", "resident"],
+    )
+    for cache, prefix, builds, build_seconds, resident in (
+        (
+            "codec tables", "kernels.codec",
+            build.get("count", 0), build.get("sum", 0.0),
+            _value("kernels.codec.cached"),
+        ),
+        (
+            "search plans", "kernels.plan",
+            _value("kernels.plan.miss"), 0.0, None,
+        ),
+    ):
+        hits = _value(f"{prefix}.hit")
+        misses = _value(f"{prefix}.miss")
+        total = hits + misses
+        table.add_row(
+            cache, hits, misses,
+            f"{hits / total:.0%}" if total else "-",
+            builds, build_seconds,
+            "-" if resident is None else resident,
+        )
+    return table
+
+
 def render_report(spans: Iterable[Span], title: str | None = None) -> str:
     """Both tables, rendered as fixed-width text blocks."""
     spans = list(spans)
@@ -145,14 +198,23 @@ def report_from_jsonl(path: str, title: str | None = None) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    import json
     import sys
 
     argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 1:
-        print("usage: python -m repro.obs.report TRACE.jsonl",
-              file=sys.stderr)
+    if not 1 <= len(argv) <= 2:
+        print(
+            "usage: python -m repro.obs.report TRACE.jsonl "
+            "[METRICS.json]",
+            file=sys.stderr,
+        )
         return 2
     print(report_from_jsonl(argv[0]))
+    if len(argv) == 2:
+        with open(argv[1]) as handle:
+            metrics = json.load(handle)
+        print()
+        print(cache_breakdown(metrics).render())
     return 0
 
 

@@ -412,11 +412,16 @@ class LHStarBucket(Node):
                 hops=message.hops + 1,
             )
         matcher: ScanMatcher = payload["matcher"]
-        hits = []
-        for record in self.records.values():
-            outcome = matcher(record)
-            if outcome is not None:
-                hits.append(outcome)
+        # Tight bucket-scan loop: one matcher call per resident record,
+        # hits collected without a per-record append dance.  The
+        # matcher itself runs the fused-plan needle matching
+        # (bytes.find via repro.core.search.aligned_find), so this loop
+        # is the whole server-side cost of a query.
+        hits = [
+            outcome
+            for record in self.records.values()
+            if (outcome := matcher(record)) is not None
+        ]
         reply = {
             "op": payload["op"],
             "address": self.address,

@@ -1,0 +1,91 @@
+"""The perf-regression harness: payload shape, fidelity, gating."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def perf_smoke():
+    spec = importlib.util.spec_from_file_location(
+        "perf_smoke", ROOT / "benchmarks" / "perf_smoke.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    # Shrink the workload: accuracy doesn't matter here, shape does.
+    module.RECORDS = 30
+    module.REPEATS = 1
+    return module
+
+
+@pytest.fixture(scope="module")
+def payloads(perf_smoke):
+    return perf_smoke.run()
+
+
+class TestPayloadShape:
+    def test_codec_payload(self, payloads):
+        codec, __ = payloads
+        assert codec["schema"] == "repro-perf-smoke/1"
+        for name in (
+            "prp_encrypt_reference", "prp_encrypt_stream",
+            "index_build_reference", "index_build_fused",
+            "plan_query_uncached", "plan_query_cached",
+        ):
+            bench = codec["benches"][name]
+            assert bench["median_ns_per_op"] > 0
+            assert bench["ops_per_s"] > 0
+        for name in (
+            "prp_speedup", "index_build_speedup", "plan_cache_speedup"
+        ):
+            assert codec["ratios"][name] > 0
+
+    def test_search_payload(self, payloads):
+        __, search = payloads
+        assert search["schema"] == "repro-perf-smoke/1"
+        assert "bulk_load_fused" in search["benches"]
+        assert "search_round" in search["benches"]
+        assert search["ratios"]["bulk_load_speedup"] > 0
+
+    def test_fidelity_holds(self, payloads):
+        codec, __ = payloads
+        assert codec["equivalence"] == {
+            "index_bytes_identical": True,
+            "search_answers_identical": True,
+            "wire_costs_identical": True,
+        }
+
+
+class TestGate:
+    def test_passes_at_baseline(self, perf_smoke):
+        ratios = {"prp_speedup": 100.0, "index_build_speedup": 50.0}
+        assert perf_smoke._gate(ratios, dict(ratios)) == []
+
+    def test_tolerates_bounded_drift(self, perf_smoke):
+        baseline = {"prp_speedup": 100.0, "index_build_speedup": 50.0}
+        drifted = {"prp_speedup": 75.0, "index_build_speedup": 40.0}
+        assert perf_smoke._gate(drifted, baseline) == []
+
+    def test_fails_beyond_tolerance(self, perf_smoke):
+        baseline = {"prp_speedup": 100.0, "index_build_speedup": 50.0}
+        regressed = {"prp_speedup": 60.0, "index_build_speedup": 40.0}
+        failures = perf_smoke._gate(regressed, baseline)
+        assert len(failures) == 1
+        assert failures[0].startswith("prp_speedup")
+
+    def test_hard_floor_without_baseline(self, perf_smoke):
+        slow = {"prp_speedup": 4.0, "index_build_speedup": 6.0}
+        failures = perf_smoke._gate(slow, {})
+        assert len(failures) == 1
+        assert "hard floor" in failures[0]
+
+    def test_committed_baseline_is_valid(self, perf_smoke):
+        import json
+
+        path = ROOT / "benchmarks" / "baselines" / "BENCH_codec.json"
+        baseline = json.loads(path.read_text())
+        for name in perf_smoke.GATED_RATIOS:
+            assert baseline["ratios"][name] >= perf_smoke.HARD_FLOOR

@@ -145,3 +145,41 @@ def test_property_roundtrip(geometry, seed, data):
     assert len(pieces) == k
     assert all(0 <= p < (1 << piece_bits) for p in pieces)
     assert d.recover(pieces) == value
+
+
+class TestRangeValidation:
+    """Regression: with a built lookup table, an out-of-range value
+    must still raise — Python's negative indexing would otherwise
+    silently return the dispersal of ``domain + value``."""
+
+    def test_negative_value_rejected_with_table(self):
+        d = Disperser(k=2, piece_bits=4)
+        assert d.dispersal_table() is not None
+        with pytest.raises(ValueError):
+            d.disperse(-1)
+
+    def test_overflow_value_rejected_with_table(self):
+        d = Disperser(k=2, piece_bits=4)
+        d.dispersal_table()
+        with pytest.raises(ValueError):
+            d.disperse(1 << d.chunk_bits)
+
+    def test_negative_value_rejected_without_table(self):
+        d = Disperser(k=2, piece_bits=12)  # 24-bit domain: no table
+        assert d.dispersal_table() is None
+        with pytest.raises(ValueError):
+            d.disperse(-1)
+
+    def test_disperse_stream_rejects_out_of_range(self):
+        d = Disperser(k=2, piece_bits=4)
+        with pytest.raises(ValueError):
+            d.disperse_stream([3, -1, 7])
+        with pytest.raises(ValueError):
+            d.disperse_stream([3, 1 << d.chunk_bits])
+
+    def test_disperse_stream_matches_disperse(self):
+        d = Disperser(k=4, piece_bits=4, seed=9)
+        values = list(range(0, 1 << d.chunk_bits, 257))
+        streams = d.disperse_stream(values)
+        for i, value in enumerate(values):
+            assert tuple(s[i] for s in streams) == d.disperse(value)

@@ -82,3 +82,48 @@ def test_property_wide_domains(domain, data):
     prp = FeistelPRP(b"wide", domain)
     value = data.draw(st.integers(0, domain - 1))
     assert prp.decrypt(prp.encrypt(value)) == value
+
+
+class TestPermutationTable:
+    def test_table_matches_encrypt(self):
+        prp = FeistelPRP(KEY, 1000)  # non-power-of-2: cycle-walking
+        table = prp.permutation_table()
+        assert table is not None
+        assert sorted(table) == list(range(1000))
+        for value in range(0, 1000, 37):
+            assert table[value] == prp.encrypt(value)
+
+    def test_table_power_of_two_domain(self):
+        prp = FeistelPRP(KEY, 2 ** 10)
+        table = prp.permutation_table()
+        assert [table[v] for v in range(64)] == [
+            prp.encrypt(v) for v in range(64)
+        ]
+
+    def test_wide_domain_has_no_table(self):
+        prp = FeistelPRP(KEY, 2 ** 24)
+        assert prp.permutation_table() is None
+
+    def test_encrypt_stream_equals_scalar(self):
+        prp = FeistelPRP(KEY, 2 ** 12)
+        values = [(i * 977) % prp.domain_size for i in range(500)]
+        assert prp.encrypt_stream(values) == [
+            prp.encrypt(v) for v in values
+        ]
+
+    def test_encrypt_stream_falls_back_on_wide_domain(self):
+        prp = FeistelPRP(KEY, 2 ** 24)
+        values = [0, 1, 2 ** 20]
+        assert prp.encrypt_stream(values) == [
+            prp.encrypt(v) for v in values
+        ]
+
+    def test_encrypt_stream_validates_range(self):
+        prp = FeistelPRP(KEY, 64)
+        with pytest.raises(ValueError):
+            prp.encrypt_stream([0, -1])
+        with pytest.raises(ValueError):
+            prp.encrypt_stream([0, 64])
+
+    def test_encrypt_stream_empty(self):
+        assert FeistelPRP(KEY, 64).encrypt_stream([]) == []

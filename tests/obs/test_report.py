@@ -92,3 +92,52 @@ class TestRendering:
         assert report_from_jsonl(str(path)) == render_report(
             tracer.finished
         )
+
+
+class TestCacheBreakdown:
+    def _metrics(self):
+        from repro.core.kernels import clear_codec_cache, fused_codec
+        from repro.crypto.feistel import FeistelPRP
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        clear_codec_cache()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            fused_codec(FeistelPRP(b"report", 64), None, 1, 64)
+            fused_codec(FeistelPRP(b"report", 64), None, 1, 64)
+        return registry.to_dict()
+
+    def test_rows_reflect_kernel_metrics(self):
+        from repro.obs.report import cache_breakdown
+
+        table = cache_breakdown(self._metrics())
+        text = table.render()
+        assert "Fused-kernel cache census" in text
+        assert "codec tables" in text
+        assert "search plans" in text
+        codec_row = table.rows[0]
+        assert codec_row[1] == "1"  # one hit
+        assert codec_row[2] == "1"  # one miss
+        assert codec_row[3] == "50%"
+        assert codec_row[4] == "1"  # one build
+
+    def test_empty_metrics_render_stable_shape(self):
+        from repro.obs.report import cache_breakdown
+
+        table = cache_breakdown({})
+        assert len(table.rows) == 2
+        assert table.rows[0][3] == "-"
+
+    def test_main_accepts_metrics_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.report import main
+
+        __, tracer = traced_workload()
+        trace_path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(trace_path))
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(self._metrics()))
+        assert main([str(trace_path), str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fused-kernel cache census" in out
