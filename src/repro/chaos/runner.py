@@ -103,6 +103,7 @@ class EpisodeConfig:
     retry_backoff: float = 2.0
     retry_max: int = 6
     retry_jitter: float = 0.5
+    fast_path: bool = True
     profile: NemesisProfile = field(default_factory=NemesisProfile)
 
     def to_dict(self) -> dict[str, Any]:
@@ -174,6 +175,7 @@ def _build_store(
         retry_policy=policy,
         group_size=config.group_size,
         parity_count=config.parity_count,
+        fast_path=config.fast_path,
     )
 
 

@@ -27,6 +27,7 @@ from repro.core.encoder import FrequencyEncoder, census_chunks
 from repro.core.errors import (
     ConfigurationError,
     QueryTooShortError,
+    RecordNotFoundError,
     SchemeError,
 )
 from repro.core.index import IndexPipeline
@@ -78,4 +79,5 @@ __all__ = [
     "SchemeError",
     "ConfigurationError",
     "QueryTooShortError",
+    "RecordNotFoundError",
 ]

@@ -26,13 +26,42 @@ from dataclasses import dataclass
 
 from repro.core.compression import PairCompressor
 from repro.core.errors import ConfigurationError
+from repro.core.kernels import fused_codec
 from repro.crypto.feistel import FeistelPRP
 from repro.crypto.keys import KeyHierarchy
 from repro.crypto.modes import CtrCipher
 from repro.net.simulator import Network
 from repro.net.stats import NetworkStats
+from repro.sdds.haystack import BucketHaystack
 from repro.sdds.lhstar import LHStarFile
 from repro.sdds.records import Record
+
+
+class CompressedScanMatcher:
+    """Scan matcher for one set of encrypted edge-variant needles.
+
+    Per-record calls are the reference path (plain ``in`` membership,
+    also what degraded parity scans use); :meth:`match_bucket` runs
+    each needle once over the bucket haystack, resuming after a
+    record's first hit at the record's end — the same early exit.
+    """
+
+    def __init__(self, needles: tuple[bytes, ...],
+                 batched: bool = True) -> None:
+        self.needles = needles
+        if not batched:
+            self.match_bucket = None  # type: ignore[assignment]
+
+    def __call__(self, record: Record):
+        if any(needle in record.content for needle in self.needles):
+            return record.rid
+        return None
+
+    def match_bucket(self, haystack: BucketHaystack):
+        matched = set()
+        for needle in self.needles:
+            matched.update(haystack.find_records(needle))
+        return [rid for rid in haystack.rids if rid in matched]
 
 
 @dataclass(frozen=True)
@@ -65,6 +94,7 @@ class CompressedSearchStore:
         network: Network | None = None,
         bucket_capacity: int = 128,
         name: str = "csi",
+        fast_path: bool = True,
     ) -> None:
         self.compressor = PairCompressor.train(
             training_corpus, max_pairs=max_pairs, lossy_codes=lossy_codes
@@ -80,11 +110,19 @@ class CompressedSearchStore:
         self._keys = keys
         self._record_cipher = CtrCipher(keys.record_store_key())
         # Code-level ECB: a PRP over the byte code space keeps stream
-        # positions byte-for-byte substitutable.
+        # positions byte-for-byte substitutable.  The fast path routes
+        # the code map through the shared fused-codec registry (one
+        # ``bytes.translate`` table per PRP key, cached across stores);
+        # ``fast_path=False`` pins the reference per-code PRP loop and
+        # per-record bucket scans for the equivalence suite.
+        self.fast_path = fast_path
         self._prp = FeistelPRP(keys.subkey("compressed-index"), 256)
-        self._code_map = bytes(
-            self._prp.encrypt(code) for code in range(256)
-        )
+        self._code_map: bytes | None = None
+        if fast_path:
+            codec = fused_codec(prp=self._prp, disperser=None,
+                                piece_width=1, domain=256)
+            if codec is not None:
+                self._code_map = codec.translate_table(0)
         self.record_file = LHStarFile(
             name=f"{name}-store", network=self.network,
             bucket_capacity=bucket_capacity,
@@ -98,9 +136,20 @@ class CompressedSearchStore:
     # -- data plane --------------------------------------------------------------
 
     def _encrypt_stream(self, stream: bytes) -> bytes:
-        return stream.translate(self._code_map)
+        if self._code_map is not None:
+            return stream.translate(self._code_map)
+        encrypt = self._prp.encrypt
+        return bytes(encrypt(code) for code in stream)
 
     def put(self, rid: int, text: str) -> None:
+        """Store the strong copy plus the encrypted code stream.
+
+        Overwrite semantics: a ``put`` on an already-present rid is an
+        in-place replacement — both LH* inserts land on the same keys,
+        so the old ciphertext and the old index stream are replaced
+        wholesale (and the owning bucket drops its scan haystack);
+        retired content must never match again.
+        """
         content = text.encode("ascii")
         self.record_file.insert(
             rid,
@@ -142,16 +191,14 @@ class CompressedSearchStore:
             self._encrypt_stream(variant) for variant in raw_variants
         )
         before = self.network.stats.snapshot()
-
-        def matcher(record: Record):
-            if any(needle in record.content for needle in needles):
-                return record.rid
-            return None
-
-        hits = self.index_file.scan(
-            matcher,
-            request_size=sum(len(n) for n in needles),
-        )
+        matcher = CompressedScanMatcher(needles,
+                                        batched=self.fast_path)
+        # Real serialized query size: a 1-byte variant count, then per
+        # needle a 2-byte length prefix plus the needle bytes (the
+        # variants have differing lengths, so bare concatenation would
+        # not be decodable).
+        request_size = 1 + sum(2 + len(n) for n in needles)
+        hits = self.index_file.scan(matcher, request_size=request_size)
         candidates = set(hits)
         if verify:
             matches = {

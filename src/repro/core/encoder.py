@@ -219,6 +219,27 @@ class FrequencyEncoder:
             for start in range(offset, len(text) - size + 1, size)
         ])
 
+    def encode_values_sliding(
+        self, text: bytes, step: int = 1
+    ) -> list[int]:
+        """Code values of every overlapping (sliding-window) chunk of
+        ``text``, window start advancing by ``step`` bytes.
+
+        Complements :meth:`encode_values_nonoverlapping`: with
+        ``step=1`` the offset-``o`` non-overlapping values are exactly
+        the ``[o::chunk_size]`` stride of this list, so one sliding
+        pass feeds every chunking of a full layout at once (the index
+        pipeline's record-build fast path).  Partial edge windows are
+        dropped, like the non-overlapping form.
+        """
+        if step < 1:
+            raise ConfigurationError("step must be positive")
+        size = self.chunk_size
+        return self.encode_chunks([
+            text[start:start + size]
+            for start in range(0, len(text) - size + 1, step)
+        ])
+
     def encode_nonoverlapping(self, text: bytes, offset: int) -> bytes:
         """Encode the offset-o non-overlapping chunking of ``text``,
         dropping partial edge chunks (the paper's section-7 procedure).

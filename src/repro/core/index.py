@@ -163,15 +163,28 @@ class IndexPipeline:
             for stream in self.disperser.disperse_stream(values)
         ]
 
+    def _streams_from_values(
+        self, values: list[int], group_index: int
+    ) -> list[bytes]:
+        """One chunking's per-site streams from its chunk values:
+        fused when possible, reference otherwise — byte-identical
+        either way."""
+        codec = self.codec(group_index)
+        if codec is not None:
+            return codec.site_streams(values)
+        prp = self._prps[group_index]
+        if prp is not None:
+            values = [prp.encrypt(value) for value in values]
+        return self._site_streams(values)
+
     def _group_streams(
         self, chunks: list[bytes], group_index: int
     ) -> list[bytes]:
         """One chunking's per-site streams: fused when possible,
         reference otherwise — byte-identical either way."""
-        codec = self.codec(group_index)
-        if codec is not None:
-            return codec.site_streams(self.chunk_values(chunks))
-        return self._site_streams(self._transform(chunks, group_index))
+        return self._streams_from_values(
+            self.chunk_values(chunks), group_index
+        )
 
     # -- record side ----------------------------------------------------------
 
@@ -185,20 +198,77 @@ class IndexPipeline:
         SDDS.
         """
         layout = self.params.layout
+        sliding: list[int] | None = None
+        if (
+            self.fast_path
+            and self.encoder is not None
+            and layout.stride == 1
+            and layout.group_count > 1
+        ):
+            # Full layouts store every offset's chunking: one sliding
+            # pass encodes all windows once, and each chunking's full
+            # chunks are a stride slice of the shared value list.
+            sliding = self.encoder.encode_values_sliding(
+                content, step=self.params.symbol_width
+            )
         streams: dict[tuple[int, int], bytes] = {}
         for group_index, offset in enumerate(layout.offsets):
-            chunks = record_chunks(
-                content,
-                layout.chunk_size,
-                offset,
-                drop_partial=self.params.drop_partial_chunks,
-                symbol_width=self.params.symbol_width,
-            )
+            if sliding is not None:
+                values = self._sliding_group_values(
+                    content, sliding, offset
+                )
+            else:
+                chunks = record_chunks(
+                    content,
+                    layout.chunk_size,
+                    offset,
+                    drop_partial=self.params.drop_partial_chunks,
+                    symbol_width=self.params.symbol_width,
+                )
+                values = self.chunk_values(chunks)
             for site, stream in enumerate(
-                self._group_streams(chunks, group_index)
+                self._streams_from_values(values, group_index)
             ):
                 streams[(group_index, site)] = stream
         return streams
+
+    def _sliding_group_values(
+        self, content: bytes, sliding: list[int], offset: int
+    ) -> list[int]:
+        """The offset-``o`` chunking's chunk values, carved out of the
+        shared sliding-window value list — value-identical to encoding
+        :func:`repro.core.chunking.record_chunks` output directly.
+
+        The full interior chunks are the ``[offset::chunk_size]``
+        stride of the sliding list; the padded partial head and tail
+        chunks (absent under ``drop_partial_chunks``) are rebuilt and
+        encoded individually, exactly as ``record_chunks`` pads them.
+        """
+        params = self.params
+        size = params.chunk_size
+        width = params.symbol_width
+        chunk_bytes = size * width
+        offset_bytes = offset * width
+        values = sliding[offset::size]
+        if params.drop_partial_chunks:
+            return values
+        encoder = self.encoder
+        length = len(content)
+        if offset:
+            head = content[:offset_bytes]
+            values.insert(0, encoder.encode_chunk(
+                bytes(chunk_bytes - offset_bytes)
+                + head
+                + bytes(offset_bytes - len(head))
+            ))
+        if length > offset_bytes:
+            remainder = (length - offset_bytes) % chunk_bytes
+            if remainder:
+                values.append(encoder.encode_chunk(
+                    content[length - remainder:]
+                    + bytes(chunk_bytes - remainder)
+                ))
+        return values
 
     # -- query side --------------------------------------------------------------
 

@@ -134,6 +134,16 @@ class FusedCodec:
             streams.append(packed.tobytes())
         return streams
 
+    def translate_table(self, site: int) -> bytes | None:
+        """The site's 256-entry ``bytes.translate`` table, when this
+        codec uses the translate representation (one-byte pieces over
+        a domain of at most 256 values); ``None`` otherwise.  Lets
+        byte-stream pipelines (the compressed index's code-level ECB)
+        reuse the shared codec registry for bulk encode+encrypt."""
+        if self._translate is None:
+            return None
+        return self._translate[site]
+
     def table_bytes(self) -> int:
         """Approximate table residency in bytes (memory envelope)."""
         if self._translate is not None:

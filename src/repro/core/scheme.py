@@ -33,7 +33,12 @@ from repro.core.config import SchemeParameters
 from repro.core.encoder import FrequencyEncoder
 from repro.core.errors import ConfigurationError
 from repro.core.index import IndexPipeline
-from repro.core.search import HitAggregator, SiteHit
+from repro.core.search import (
+    HitAggregator,
+    MultiPlanScanMatcher,
+    PlanScanMatcher,
+    SiteHit,
+)
 from repro.crypto.keys import KeyHierarchy
 from repro.crypto.modes import CtrCipher
 from repro.net.faults import RetryPolicy
@@ -43,7 +48,6 @@ from repro.obs.metrics import observe as metric_observe
 from repro.obs.trace import span as obs_span
 from repro.sdds.lhstar import DEFAULT_RETRY_POLICY, LHStarFile
 from repro.sdds.lhstar_rs import LHStarRSFile
-from repro.sdds.records import Record
 
 
 @dataclass(frozen=True)
@@ -379,18 +383,12 @@ class EncryptedSearchableStore:
             # The zero-extension only tiles one chunking exactly; the
             # all-groups threshold would reject true matches.
             plan = replace(plan, required_groups=1)
-        decode = self.decode_index_key
         before = self.network.stats.snapshot()
         started = self.network.now
-
-        def matcher(record: Record) -> SiteHit | None:
-            rid, group, site = decode(record.rid)
-            positions = plan.match_site(group, site, record.content)
-            if not positions:
-                return None
-            return SiteHit(rid=rid, group=group, site=site,
-                           positions=positions)
-
+        matcher = PlanScanMatcher(
+            plan, self.decode_index_key,
+            batched=self.pipeline.fast_path,
+        )
         hits = self.index_file.scan(
             matcher, request_size=plan.request_size()
         )
@@ -430,6 +428,19 @@ class EncryptedSearchableStore:
             elapsed=self.network.now - started,
             scan_cost=after_scan.diff(before),
             verify_cost=self.network.stats.diff(after_scan),
+        )
+
+    def _batch_matcher(self, plans) -> MultiPlanScanMatcher:
+        """One scan matcher multiplexing several query plans; reports
+        are :class:`_BatchHit`\\ s, demux-tagged only when the round
+        actually ships several patterns."""
+        tagged = len(plans) > 1
+        return MultiPlanScanMatcher(
+            plans,
+            self.decode_index_key,
+            lambda index, hit: _BatchHit(index=index, hit=hit,
+                                         tagged=tagged),
+            batched=self.pipeline.fast_path,
         )
 
     def _start_anchor(self, plan) -> tuple[int, int, int]:
@@ -485,28 +496,11 @@ class EncryptedSearchableStore:
             self.pipeline.plan_query(self._pattern_bytes(p))
             for p in patterns
         ]
-        decode = self.decode_index_key
         before = self.network.stats.snapshot()
         started = self.network.now
 
-        tagged = len(plans) > 1
-
-        def matcher(record: Record):
-            rid, group, site = decode(record.rid)
-            reports = []
-            for index, plan in enumerate(plans):
-                positions = plan.match_site(group, site, record.content)
-                if positions:
-                    reports.append(_BatchHit(
-                        index=index,
-                        hit=SiteHit(rid=rid, group=group, site=site,
-                                    positions=positions),
-                        tagged=tagged,
-                    ))
-            return reports or None
-
         raw = self.index_file.scan(
-            matcher,
+            self._batch_matcher(plans),
             request_size=sum(plan.request_size() for plan in plans),
         )
         after_scan = self.network.stats.snapshot()
@@ -580,28 +574,11 @@ class EncryptedSearchableStore:
             self.pipeline.plan_query(self._pattern_bytes(p))
             for p in unique
         ]
-        decode = self.decode_index_key
         before = self.network.stats.snapshot()
         started = self.network.now
 
-        tagged = len(plans) > 1
-
-        def matcher(record: Record):
-            rid, group, site = decode(record.rid)
-            reports = []
-            for index, plan in enumerate(plans):
-                positions = plan.match_site(group, site, record.content)
-                if positions:
-                    reports.append(_BatchHit(
-                        index=index,
-                        hit=SiteHit(rid=rid, group=group, site=site,
-                                    positions=positions),
-                        tagged=tagged,
-                    ))
-            return reports or None
-
         raw = self.index_file.scan(
-            matcher,
+            self._batch_matcher(plans),
             request_size=sum(plan.request_size() for plan in plans),
         )
         after_scan = self.network.stats.snapshot()

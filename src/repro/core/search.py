@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sdds.haystack import BucketHaystack
+    from repro.sdds.records import Record
 
 
 def aligned_find(haystack: bytes, needle: bytes, width: int) -> list[int]:
@@ -103,6 +107,171 @@ class SiteHit:
             2 + 4 * len(positions)
             for positions in self.positions.values()
         )
+
+
+def _site_partition(
+    haystack: "BucketHaystack",
+    decode: Callable[[int], tuple[int, int, int]],
+) -> dict[tuple[int, int], "BucketHaystack"]:
+    """Split one bucket haystack into per-(group, site) sub-haystacks.
+
+    The bucket mixes index records of different chunking groups and
+    dispersal sites; a needle may only legally hit records of its own
+    (group, site).  Scanning the mixed blob would find — then discard —
+    every cross-site coincidence, which makes the batched path *slower*
+    than the scalar loop on dispersed layouts.  The partition restores
+    the invariant that every ``find`` sweep only touches bytes the
+    needle could match.
+    """
+    from repro.sdds.haystack import BucketHaystack
+
+    classes: dict[tuple[int, int], list[tuple[int, bytes]]] = {}
+    for key, segment in haystack.segments():
+        __, group, site = decode(key)
+        classes.setdefault((group, site), []).append(
+            (key, bytes(segment))
+        )
+    return {
+        ids: BucketHaystack.from_segments(pairs)
+        for ids, pairs in classes.items()
+    }
+
+
+def bucket_plan_hits(
+    plan: SearchPlan,
+    haystack: "BucketHaystack",
+    decode: Callable[[int], tuple[int, int, int]],
+) -> dict[int, dict[int, list[int]]]:
+    """One plan's hits over one bucket haystack: record key ->
+    (alignment -> positions).
+
+    Runs every needle once over its (group, site) sub-haystack (see
+    :func:`_site_partition`; the partition is memoised on the haystack,
+    so it is built once per bucket lifetime, not per query) instead of
+    once per record.  Position lists come out ascending per record and
+    alignment keys keep the plan's needle iteration order, matching
+    the per-record :meth:`SearchPlan.match_site` path exactly.
+    """
+    width = plan.piece_width
+    partition = haystack.view(
+        "site-partition", lambda h: _site_partition(h, decode)
+    )
+    per_record: dict[int, dict[int, list[int]]] = {}
+    for (group, alignment), streams in plan.needles.items():
+        for site, needle in enumerate(streams):
+            sub = partition.get((group, site))
+            if sub is None:
+                continue
+            for key, position in sub.find_all(needle, width):
+                record_hits = per_record.setdefault(key, {})
+                record_hits.setdefault(alignment, []).append(position)
+    return per_record
+
+
+class PlanScanMatcher:
+    """The scan matcher of one single-plan query.
+
+    Two server-side forms, byte-identical in what they report:
+
+    * **per record** (``matcher(record)``) — the reference path, also
+      the only form degraded parity scans can use (reconstructed
+      records arrive one at a time);
+    * **per bucket** (:meth:`match_bucket`) — each needle sweeps the
+      bucket's concatenated haystack once.  Disabled (the attribute is
+      ``None``, so buckets fall back to the per-record loop) when the
+      store runs with ``fast_path=False``.
+
+    Alignment keys inside each hit keep the plan's needle iteration
+    order and position lists stay ascending, so replies are
+    byte-identical between the two forms.
+    """
+
+    def __init__(
+        self,
+        plan: SearchPlan,
+        decode: Callable[[int], tuple[int, int, int]],
+        batched: bool = True,
+    ) -> None:
+        self.plan = plan
+        self.decode = decode
+        if not batched:
+            self.match_bucket = None  # type: ignore[assignment]
+
+    def __call__(self, record: "Record") -> SiteHit | None:
+        rid, group, site = self.decode(record.rid)
+        positions = self.plan.match_site(group, site, record.content)
+        if not positions:
+            return None
+        return SiteHit(rid=rid, group=group, site=site,
+                       positions=positions)
+
+    def match_bucket(self, haystack: "BucketHaystack") -> list[SiteHit]:
+        per_record = bucket_plan_hits(self.plan, haystack, self.decode)
+        hits = []
+        for key in haystack.rids:
+            positions = per_record.get(key)
+            if positions:
+                rid, group, site = self.decode(key)
+                hits.append(SiteHit(rid=rid, group=group, site=site,
+                                    positions=positions))
+        return hits
+
+
+class MultiPlanScanMatcher:
+    """Scan matcher multiplexing several plans in one round
+    (``search_all`` / ``search_batch``).
+
+    Per-record reports are lists of ``report(index, hit)`` objects —
+    the wrapper (e.g. the scheme's ``_BatchHit``) is supplied by the
+    caller so wire accounting stays where it is defined.
+    """
+
+    def __init__(
+        self,
+        plans: list[SearchPlan],
+        decode: Callable[[int], tuple[int, int, int]],
+        report: Callable[[int, SiteHit], object],
+        batched: bool = True,
+    ) -> None:
+        self.plans = plans
+        self.decode = decode
+        self.report = report
+        if not batched:
+            self.match_bucket = None  # type: ignore[assignment]
+
+    def __call__(self, record: "Record") -> list | None:
+        rid, group, site = self.decode(record.rid)
+        reports = []
+        for index, plan in enumerate(self.plans):
+            positions = plan.match_site(group, site, record.content)
+            if positions:
+                reports.append(self.report(
+                    index,
+                    SiteHit(rid=rid, group=group, site=site,
+                            positions=positions),
+                ))
+        return reports or None
+
+    def match_bucket(self, haystack: "BucketHaystack") -> list[list]:
+        per_plan = [
+            bucket_plan_hits(plan, haystack, self.decode)
+            for plan in self.plans
+        ]
+        hits = []
+        for key in haystack.rids:
+            reports = []
+            for index, per_record in enumerate(per_plan):
+                positions = per_record.get(key)
+                if positions:
+                    rid, group, site = self.decode(key)
+                    reports.append(self.report(
+                        index,
+                        SiteHit(rid=rid, group=group, site=site,
+                                positions=positions),
+                    ))
+            if reports:
+                hits.append(reports)
+        return hits
 
 
 class HitAggregator:

@@ -28,11 +28,13 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.core.errors import RecordNotFoundError
 from repro.crypto.keys import KeyHierarchy
 from repro.crypto.modes import CtrCipher
-from repro.crypto.swp import SwpCipher
+from repro.crypto.swp import WORD_BYTES, SwpCipher, Trapdoor
 from repro.net.simulator import Network
 from repro.net.stats import NetworkStats
+from repro.sdds.haystack import BucketHaystack
 from repro.sdds.lhstar import LHStarFile
 from repro.sdds.records import Record
 
@@ -42,6 +44,51 @@ _WORD_RE = re.compile(r"[A-Za-z0-9&'-]+")
 def tokenize(text: str) -> list[str]:
     """The word tokens of a record (SWP operates on whole words)."""
     return _WORD_RE.findall(text)
+
+
+class WordScanMatcher:
+    """Scan matcher for one SWP trapdoor.
+
+    Per-record calls are the reference path (and what degraded parity
+    scans use); :meth:`match_bucket` runs the batched SWP unmasking of
+    :meth:`repro.crypto.swp.SwpCipher.match_positions` over each
+    record's cell blob of the bucket haystack.  ``fast_path=False``
+    pins the reference per-cell loop *and* disables bucket batching —
+    the escape hatch the equivalence suite compares against.
+    """
+
+    def __init__(self, trapdoor: Trapdoor,
+                 fast_path: bool = True) -> None:
+        self.trapdoor = trapdoor
+        self.fast_path = fast_path
+        if not fast_path:
+            self.match_bucket = None  # type: ignore[assignment]
+
+    def _positions(self, cells: bytes | memoryview) -> tuple[int, ...]:
+        if self.fast_path:
+            return tuple(SwpCipher.match_positions(cells, self.trapdoor))
+        match = SwpCipher.match
+        trapdoor = self.trapdoor
+        return tuple(
+            position
+            for position in range(len(cells) // WORD_BYTES)
+            if match(cells[WORD_BYTES * position:
+                           WORD_BYTES * (position + 1)], trapdoor)
+        )
+
+    def __call__(self, record: Record):
+        hits = self._positions(record.content)
+        if not hits:
+            return None
+        return (record.rid, hits)
+
+    def match_bucket(self, haystack: BucketHaystack):
+        hits = []
+        for rid, cells in haystack.segments():
+            positions = self._positions(cells)
+            if positions:
+                hits.append((rid, positions))
+        return hits
 
 
 @dataclass(frozen=True)
@@ -71,7 +118,12 @@ class EncryptedWordStore:
         network: Network | None = None,
         bucket_capacity: int = 128,
         name: str = "words",
+        fast_path: bool = True,
     ) -> None:
+        # ``fast_path=False`` pins the reference per-cell SWP loop and
+        # per-record bucket scans — the equivalence suite compares the
+        # two stores' answers and wire costs byte for byte.
+        self.fast_path = fast_path
         self.network = network or Network()
         keys = KeyHierarchy(master_key)
         self._keys = keys
@@ -90,7 +142,14 @@ class EncryptedWordStore:
     # -- data plane ------------------------------------------------------------
 
     def put(self, rid: int, text: str) -> None:
-        """Store the strong copy plus the SWP cell sequence."""
+        """Store the strong copy plus the SWP cell sequence.
+
+        Overwrite semantics: a ``put`` on an already-present rid is an
+        in-place replacement.  Both LH* inserts land on the same keys,
+        so the old ciphertext and the old cell sequence are replaced
+        wholesale (and the owning bucket drops its scan haystack) —
+        retired words must never match again.
+        """
         content = text.encode("utf-8")
         ciphertext = self._record_cipher.encrypt(
             content, self._keys.record_nonce(rid)
@@ -122,24 +181,18 @@ class EncryptedWordStore:
     # -- search -----------------------------------------------------------------
 
     def search(self, word: str) -> WordSearchResult:
-        """One-round parallel word search with a hidden query."""
+        """One-round parallel word search with a hidden query.
+
+        The scan request bills the trapdoor's real serialized size
+        (``X`` plus ``k``, 32 bytes) — what each index site actually
+        receives.
+        """
         trapdoor = self._swp.trapdoor(word)
         before = self.network.stats.snapshot()
-        match = SwpCipher.match
-
-        def matcher(record: Record):
-            cells = record.content
-            hits = tuple(
-                position
-                for position in range(len(cells) // 16)
-                if match(cells[16 * position:16 * position + 16],
-                         trapdoor)
-            )
-            if not hits:
-                return None
-            return (record.rid, hits)
-
-        raw_hits = self.index_file.scan(matcher, request_size=32 + 16)
+        matcher = WordScanMatcher(trapdoor, fast_path=self.fast_path)
+        raw_hits = self.index_file.scan(
+            matcher, request_size=trapdoor.wire_size
+        )
         positions = {rid: hits for rid, hits in raw_hits}
         return WordSearchResult(
             word=word,
@@ -153,7 +206,7 @@ class EncryptedWordStore:
         (SWP scheme III: the data owner can always decrypt)."""
         cells_blob = self.index_file.lookup(rid)
         if cells_blob is None:
-            raise KeyError(f"no index record for rid {rid}")
+            raise RecordNotFoundError(f"no index record for rid {rid}")
         cells = [
             cells_blob[i:i + 16] for i in range(0, len(cells_blob), 16)
         ]

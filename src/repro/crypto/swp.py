@@ -41,6 +41,8 @@ CHECK_BYTES = 4
 
 LEFT_BYTES = WORD_BYTES - CHECK_BYTES
 
+_HMAC_BLOCK = 64  # SHA-256 block size in bytes.
+
 
 def _normalise(word: str) -> bytes:
     """Map a word into the fixed slot (pad short, hash long)."""
@@ -51,7 +53,11 @@ def _normalise(word: str) -> bytes:
 
 
 def _xor(a: bytes, b: bytes) -> bytes:
-    return bytes(x ^ y for x, y in zip(a, b, strict=True))
+    if len(a) != len(b):
+        raise ValueError("xor of unequal lengths")
+    return (
+        int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    ).to_bytes(len(a), "big")
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,12 @@ class Trapdoor:
 
     pre_encrypted: bytes  # X = E(W)
     word_key: bytes       # k = f(L)
+
+    @property
+    def wire_size(self) -> int:
+        """Serialized size of the search token a query actually ships
+        (X plus k) — what scan request accounting bills."""
+        return len(self.pre_encrypted) + len(self.word_key)
 
 
 class SwpCipher:
@@ -103,6 +115,31 @@ class SwpCipher:
         """F_k(S): the check part binding S to the word key."""
         return hmac_sha256(word_key, s)[:CHECK_BYTES]
 
+    @staticmethod
+    def _hoisted_check(word_key: bytes):
+        """A closure computing :meth:`_check` with the RFC-2104 key
+        schedule built once instead of per call.
+
+        A scan applies one word key to every cell in a bucket, so the
+        key padding and the first compression of both HMAC passes are
+        loop-invariant; streaming SHA-256 (``copy()`` + ``update()``)
+        makes the reuse byte-identical to the reference construction.
+        """
+        if len(word_key) > _HMAC_BLOCK:
+            word_key = hashlib.sha256(word_key).digest()
+        padded = word_key.ljust(_HMAC_BLOCK, b"\x00")
+        inner_base = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
+        outer_base = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
+
+        def check(s: bytes) -> bytes:
+            inner = inner_base.copy()
+            inner.update(s)
+            outer = outer_base.copy()
+            outer.update(inner.digest())
+            return outer.digest()[:CHECK_BYTES]
+
+        return check
+
     # -- public API ---------------------------------------------------------------
 
     def encrypt_word(self, document_id: int, position: int,
@@ -140,6 +177,39 @@ class SwpCipher:
         masked = _xor(cell, trapdoor.pre_encrypted)
         s, t = masked[:LEFT_BYTES], masked[LEFT_BYTES:]
         return SwpCipher._check(trapdoor.word_key, s) == t
+
+    @staticmethod
+    def match_positions(cells: bytes | memoryview,
+                        trapdoor: Trapdoor) -> list[int]:
+        """Batched :meth:`match` over a whole cell blob.
+
+        Unmasks every 16-byte cell in one big-integer XOR (``X``
+        repeated across the blob) instead of a per-cell Python loop,
+        and hoists the HMAC key schedule out of the loop (see
+        :meth:`_hoisted_check`); one HMAC *finalisation* per cell is
+        irreducible — each position needs its own ``F_k(s)``.  Returns
+        the matching cell positions, ascending, exactly as per-cell
+        :meth:`match` calls would.
+        """
+        length = len(cells)
+        if length % WORD_BYTES:
+            raise ValueError("malformed SWP cell blob")
+        count = length // WORD_BYTES
+        if not count:
+            return []
+        mask = int.from_bytes(trapdoor.pre_encrypted * count, "big")
+        masked = (int.from_bytes(cells, "big") ^ mask).to_bytes(
+            length, "big"
+        )
+        check = SwpCipher._hoisted_check(trapdoor.word_key)
+        positions = []
+        for position in range(count):
+            base = position * WORD_BYTES
+            split = base + LEFT_BYTES
+            if check(masked[base:split]) == masked[
+                    split:base + WORD_BYTES]:
+                positions.append(position)
+        return positions
 
     def decrypt_word(self, document_id: int, position: int,
                      cell: bytes) -> bytes:

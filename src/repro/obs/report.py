@@ -142,10 +142,13 @@ def cache_breakdown(
 
     ``metrics`` is the mapping produced by
     :meth:`repro.obs.metrics.MetricsRegistry.to_dict` (or parsed from
-    its JSON dump): the ``kernels.codec.*`` and ``kernels.plan.*``
-    instruments feed rows of hits, misses, hit rate, builds and build
-    seconds.  Caches that never ran render as zero rows, so the table
-    shape is stable.
+    its JSON dump): the ``kernels.codec.*``, ``kernels.plan.*`` and
+    ``lh.haystack.*`` instruments feed rows of hits, misses, hit rate,
+    builds and build seconds.  Caches that never ran render as zero
+    rows, so the table shape is stable.  For bucket haystacks a
+    "miss" is a (re)build — the cache is dropped whenever the bucket's
+    records change, so the hit rate is the fraction of batched scans
+    served without re-concatenating.
     """
 
     def _value(name: str) -> float:
@@ -158,19 +161,24 @@ def cache_breakdown(
         ["cache", "hits", "misses", "hit rate", "builds",
          "build (s)", "resident"],
     )
-    for cache, prefix, builds, build_seconds, resident in (
+    for cache, hits, misses, builds, build_seconds, resident in (
         (
-            "codec tables", "kernels.codec",
+            "codec tables",
+            _value("kernels.codec.hit"), _value("kernels.codec.miss"),
             build.get("count", 0), build.get("sum", 0.0),
             _value("kernels.codec.cached"),
         ),
         (
-            "search plans", "kernels.plan",
+            "search plans",
+            _value("kernels.plan.hit"), _value("kernels.plan.miss"),
             _value("kernels.plan.miss"), 0.0, None,
         ),
+        (
+            "bucket haystacks",
+            _value("lh.haystack.hit"), _value("lh.haystack.build"),
+            _value("lh.haystack.build"), 0.0, None,
+        ),
     ):
-        hits = _value(f"{prefix}.hit")
-        misses = _value(f"{prefix}.miss")
         total = hits + misses
         table.add_row(
             cache, hits, misses,

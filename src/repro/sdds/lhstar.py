@@ -42,6 +42,7 @@ from repro.sdds.hashing import (
     image_adjust,
     scan_initial_level,
 )
+from repro.sdds.haystack import BucketHaystack
 from repro.sdds.records import RECORD_OVERHEAD, Record
 
 #: Accounted wire size of a request/control header.
@@ -155,6 +156,28 @@ class LHStarBucket(Node):
         self._scan_replies: OrderedDict[
             tuple[Hashable, int], dict[str, Any]
         ] = OrderedDict()
+        # Lazily built concatenated view of the resident records for
+        # batched scans; dropped on any record mutation and rebuilt on
+        # the next batch-capable scan (see repro.sdds.haystack).
+        self._haystack: BucketHaystack | None = None
+
+    # -- batched-scan haystack -------------------------------------------
+
+    def haystack(self) -> BucketHaystack:
+        """The bucket's current haystack, (re)built on demand."""
+        cache = self._haystack
+        if cache is None:
+            cache = BucketHaystack(self.records)
+            self._haystack = cache
+            metric_inc("lh.haystack.build")
+        else:
+            metric_inc("lh.haystack.hit")
+        return cache
+
+    def _invalidate_haystack(self) -> None:
+        if self._haystack is not None:
+            self._haystack = None
+            metric_inc("lh.haystack.invalidate")
 
     # -- message dispatch -----------------------------------------------
 
@@ -323,6 +346,7 @@ class LHStarBucket(Node):
         record = Record(payload["key"], payload["content"])
         old = self.records.get(record.rid)
         self.records[record.rid] = record
+        self._invalidate_haystack()
         self._reply_keyed(
             payload,
             {"op": payload["op"], "ok": True, "created": old is None},
@@ -354,6 +378,8 @@ class LHStarBucket(Node):
     def _do_delete(self, message: Message) -> None:
         payload = message.payload
         removed = self.records.pop(payload["key"], None)
+        if removed is not None:
+            self._invalidate_haystack()
         self._reply_keyed(
             payload,
             {"op": payload["op"], "ok": removed is not None},
@@ -412,16 +438,22 @@ class LHStarBucket(Node):
                 hops=message.hops + 1,
             )
         matcher: ScanMatcher = payload["matcher"]
-        # Tight bucket-scan loop: one matcher call per resident record,
-        # hits collected without a per-record append dance.  The
-        # matcher itself runs the fused-plan needle matching
-        # (bytes.find via repro.core.search.aligned_find), so this loop
-        # is the whole server-side cost of a query.
-        hits = [
-            outcome
-            for record in self.records.values()
-            if (outcome := matcher(record)) is not None
-        ]
+        # Server-side matching: a matcher exposing ``match_bucket``
+        # runs once against the bucket's concatenated haystack (each
+        # needle is one C-level ``bytes.find`` sweep per bucket);
+        # plain callables fall back to the reference loop — one
+        # matcher call per resident record.  Degraded parity scans
+        # always use the per-record form (records are reconstructed
+        # one at a time), so every matcher stays callable.
+        bucket_match = getattr(matcher, "match_bucket", None)
+        if bucket_match is not None:
+            hits = bucket_match(self.haystack())
+        else:
+            hits = [
+                outcome
+                for record in self.records.values()
+                if (outcome := matcher(record)) is not None
+            ]
         reply = {
             "op": payload["op"],
             "address": self.address,
@@ -481,6 +513,8 @@ class LHStarBucket(Node):
             for record in self.records.values()
             if (record.rid & ((1 << new_level) - 1)) != self.address
         ]
+        if moving:
+            self._invalidate_haystack()
         for record in moving:
             del self.records[record.rid]
             self.file.on_move(self.address, new_address, record)
@@ -521,6 +555,7 @@ class LHStarBucket(Node):
             target = forward_address(record.rid, self.address, self.level)
             if target is None:
                 self.records[record.rid] = record
+                self._invalidate_haystack()
             else:
                 misrouted.setdefault(target, []).append(record)
         for target, batch in misrouted.items():
@@ -550,6 +585,7 @@ class LHStarBucket(Node):
         target = message.payload["target"]
         moving = list(self.records.values())
         self.records.clear()
+        self._invalidate_haystack()
         for record in moving:
             self.file.on_move(self.address, target, record)
         self.retired = True

@@ -1,6 +1,7 @@
 """The perf-regression harness: payload shape, fidelity, gating."""
 
 import importlib.util
+import json
 import pathlib
 
 import pytest
@@ -26,10 +27,20 @@ def payloads(perf_smoke):
     return perf_smoke.run()
 
 
+def _healthy_ratios(perf_smoke, **overrides):
+    """A ratio dict sitting comfortably above every hard floor."""
+    ratios = {
+        name: floor * 10.0
+        for name, floor in perf_smoke.GATED_RATIOS.items()
+    }
+    ratios.update(overrides)
+    return ratios
+
+
 class TestPayloadShape:
     def test_codec_payload(self, payloads):
         codec, __ = payloads
-        assert codec["schema"] == "repro-perf-smoke/1"
+        assert codec["schema"] == "repro-perf-smoke/2"
         for name in (
             "prp_encrypt_reference", "prp_encrypt_stream",
             "index_build_reference", "index_build_fused",
@@ -45,10 +56,23 @@ class TestPayloadShape:
 
     def test_search_payload(self, payloads):
         __, search = payloads
-        assert search["schema"] == "repro-perf-smoke/1"
-        assert "bulk_load_fused" in search["benches"]
-        assert "search_round" in search["benches"]
-        assert search["ratios"]["bulk_load_speedup"] > 0
+        assert search["schema"] == "repro-perf-smoke/2"
+        for name in (
+            "bulk_load_fused", "search_round",
+            "batched_scan_fused", "batched_scan_reference",
+            "wordstore_match_fused", "wordstore_match_reference",
+            "compressed_match_fused", "compressed_match_reference",
+        ):
+            assert search["benches"][name]["median_ns_per_op"] > 0
+        for name in (
+            "bulk_load_speedup", "batched_scan_speedup",
+            "wordstore_match_speedup", "compressed_match_speedup",
+        ):
+            assert search["ratios"][name] > 0
+        for name in (
+            "bulk_load_peak_bytes", "search_round_peak_bytes",
+        ):
+            assert search["memory"][name] > 0
 
     def test_fidelity_holds(self, payloads):
         codec, __ = payloads
@@ -56,36 +80,76 @@ class TestPayloadShape:
             "index_bytes_identical": True,
             "search_answers_identical": True,
             "wire_costs_identical": True,
+            "wordstore_identical": True,
+            "compressed_identical": True,
         }
 
 
 class TestGate:
     def test_passes_at_baseline(self, perf_smoke):
-        ratios = {"prp_speedup": 100.0, "index_build_speedup": 50.0}
+        ratios = _healthy_ratios(perf_smoke)
         assert perf_smoke._gate(ratios, dict(ratios)) == []
 
     def test_tolerates_bounded_drift(self, perf_smoke):
-        baseline = {"prp_speedup": 100.0, "index_build_speedup": 50.0}
-        drifted = {"prp_speedup": 75.0, "index_build_speedup": 40.0}
+        baseline = _healthy_ratios(perf_smoke)
+        drifted = {
+            name: value * (1.0 - perf_smoke.TOLERANCE + 0.05)
+            for name, value in baseline.items()
+        }
         assert perf_smoke._gate(drifted, baseline) == []
 
     def test_fails_beyond_tolerance(self, perf_smoke):
-        baseline = {"prp_speedup": 100.0, "index_build_speedup": 50.0}
-        regressed = {"prp_speedup": 60.0, "index_build_speedup": 40.0}
+        baseline = _healthy_ratios(perf_smoke)
+        regressed = dict(
+            baseline, prp_speedup=baseline["prp_speedup"] * 0.5
+        )
         failures = perf_smoke._gate(regressed, baseline)
         assert len(failures) == 1
         assert failures[0].startswith("prp_speedup")
 
     def test_hard_floor_without_baseline(self, perf_smoke):
-        slow = {"prp_speedup": 4.0, "index_build_speedup": 6.0}
+        slow = _healthy_ratios(
+            perf_smoke,
+            prp_speedup=perf_smoke.GATED_RATIOS["prp_speedup"] - 1.0,
+        )
         failures = perf_smoke._gate(slow, {})
         assert len(failures) == 1
         assert "hard floor" in failures[0]
 
-    def test_committed_baseline_is_valid(self, perf_smoke):
-        import json
+    def test_memory_within_ceiling_passes(self, perf_smoke):
+        baseline = {name: 1000 for name in perf_smoke.GATED_MEMORY}
+        grown = {
+            name: int(1000 * (1 + perf_smoke.MEMORY_TOLERANCE) - 1)
+            for name in perf_smoke.GATED_MEMORY
+        }
+        assert perf_smoke._gate_memory(grown, baseline) == []
 
-        path = ROOT / "benchmarks" / "baselines" / "BENCH_codec.json"
-        baseline = json.loads(path.read_text())
-        for name in perf_smoke.GATED_RATIOS:
-            assert baseline["ratios"][name] >= perf_smoke.HARD_FLOOR
+    def test_memory_beyond_ceiling_fails(self, perf_smoke):
+        baseline = {name: 1000 for name in perf_smoke.GATED_MEMORY}
+        blown = dict(baseline)
+        blown["search_round_peak_bytes"] = int(
+            1000 * (1 + perf_smoke.MEMORY_TOLERANCE) + 1
+        )
+        failures = perf_smoke._gate_memory(blown, baseline)
+        assert len(failures) == 1
+        assert failures[0].startswith("search_round_peak_bytes")
+
+    def test_missing_memory_baseline_is_not_gated(self, perf_smoke):
+        # First run after the schema change: no baseline figure yet.
+        current = {name: 10**9 for name in perf_smoke.GATED_MEMORY}
+        assert perf_smoke._gate_memory(current, {}) == []
+
+    def test_committed_baseline_is_valid(self, perf_smoke):
+        codec = json.loads(
+            (ROOT / "benchmarks" / "baselines" / "BENCH_codec.json")
+            .read_text()
+        )
+        search = json.loads(
+            (ROOT / "benchmarks" / "baselines" / "BENCH_search.json")
+            .read_text()
+        )
+        ratios = {**codec["ratios"], **search["ratios"]}
+        for name, floor in perf_smoke.GATED_RATIOS.items():
+            assert ratios[name] >= floor, name
+        for name in perf_smoke.GATED_MEMORY:
+            assert search["memory"][name] > 0

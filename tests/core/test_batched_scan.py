@@ -1,0 +1,289 @@
+"""Batched bucket scans ≡ per-record reference scans, byte for byte.
+
+PR-5 pinned fused *client-side* codecs to the reference path; this
+suite pins the *server-side* batched scan the same way.  Matchers that
+expose ``match_bucket`` run each needle once over the bucket's
+concatenated haystack — the grids here assert the resulting hits,
+candidate sets, answers and wire costs are identical to the scalar
+per-record loop, across chunk sizes, dispersal, Stage-2 on/off and
+both §8 stores, and that the haystack cache survives every record
+mutation (insert, overwrite, delete, split, merge).
+"""
+
+import pytest
+
+from repro.core import (
+    CompressedSearchStore,
+    EncryptedSearchableStore,
+    EncryptedWordStore,
+    FrequencyEncoder,
+    SchemeParameters,
+)
+from repro.core.search import PlanScanMatcher
+from repro.sdds.haystack import BucketHaystack
+from repro.sdds.lhstar import LHStarFile
+from repro.sdds.records import Record
+
+TEXTS = [
+    "SCHWARZ THOMAS J 453-2234",
+    "LITWIN WITOLD 123-4567",
+    "AAAABBBBCCCCDDDD",
+    "X",
+    "MARTINEZ-GARCIA ANA 999-0000",
+    "THOMPSON SCHOLAR 555-0001",
+]
+
+PATTERNS = ["SCHWARZ ", "WITOLD 12", "ABCDEFGHIJKL", "AAAABBBB",
+            "THOMAS J", "999-0000"]
+
+# Store configurations spanning raw/Stage-2 domains, dispersal on/off,
+# full and reduced layouts, 1- and 2-byte pieces.
+GRID = [
+    lambda: (SchemeParameters.full(4, n_codes=64), 64),
+    lambda: (SchemeParameters.full(4, n_codes=64, dispersal=2), 64),
+    lambda: (SchemeParameters.reduced(8, 4, n_codes=256, dispersal=4),
+             256),
+    lambda: (SchemeParameters.full(4, n_codes=1000), 1000),
+    lambda: (SchemeParameters.full(2), None),
+    lambda: (SchemeParameters.full(2, dispersal=2), None),
+    # Large raw domain: no fused codec, but batching still applies.
+    lambda: (SchemeParameters.full(4), None),
+]
+
+
+def build_store(make, fast_path, bucket_capacity=8):
+    params, n_codes = make()
+    encoder = (
+        FrequencyEncoder.train(
+            [t.encode("ascii") for t in TEXTS],
+            params.chunk_bytes, n_codes,
+        )
+        if n_codes is not None
+        else None
+    )
+    store = EncryptedSearchableStore(
+        params, encoder=encoder, bucket_capacity=bucket_capacity,
+        fast_path=fast_path,
+    )
+    for rid, text in enumerate(TEXTS):
+        store.put(rid, text)
+    return store
+
+
+def assert_stores_agree(fast, reference, patterns=PATTERNS):
+    minimum = fast.params.min_query_length
+    patterns = [p for p in patterns if len(p) >= minimum]
+    assert patterns, "grid entry left no searchable pattern"
+    for pattern in patterns:
+        a = fast.search(pattern)
+        b = reference.search(pattern)
+        assert a.candidates == b.candidates, pattern
+        assert a.matches == b.matches, pattern
+        assert a.cost.bytes == b.cost.bytes, pattern
+        assert a.cost.messages == b.cost.messages, pattern
+
+
+class TestChunkIndexEquivalence:
+    @pytest.mark.parametrize("make", GRID)
+    def test_answers_and_wire_costs_identical(self, make):
+        fast = build_store(make, fast_path=True)
+        reference = build_store(make, fast_path=False)
+        assert_stores_agree(fast, reference)
+        assert fast.network.stats.bytes == reference.network.stats.bytes
+
+    def test_batch_and_conjunctive_entry_points(self):
+        make = GRID[1]
+        fast = build_store(make, fast_path=True)
+        reference = build_store(make, fast_path=False)
+        fa = fast.search_batch(["SCHWARZ ", "WITOLD 12"])
+        rb = reference.search_batch(["SCHWARZ ", "WITOLD 12"])
+        for pattern in fa:
+            assert fa[pattern].candidates == rb[pattern].candidates
+            assert fa[pattern].cost.bytes == rb[pattern].cost.bytes
+        a = fast.search_all(["SCHWARZ ", "THOMAS J"])
+        b = reference.search_all(["SCHWARZ ", "THOMAS J"])
+        assert a.matches == b.matches
+        assert a.cost.bytes == b.cost.bytes
+
+    def test_mutations_invalidate_haystacks(self):
+        """Search / mutate / search: the batched store must track the
+        reference store through inserts, overwrites and deletes."""
+        make = GRID[0]
+        fast = build_store(make, fast_path=True)
+        reference = build_store(make, fast_path=False)
+        for store in (fast, reference):
+            store.search("SCHWARZ ")          # haystacks built
+            store.put(99, "FRESH RECORD ONE")  # insert
+            store.put(0, "REPLACED CONTENT")   # overwrite rid 0
+            store.delete(1)                    # delete
+        assert_stores_agree(
+            fast, reference,
+            ["SCHWARZ ", "FRESH RE", "REPLACED", "WITOLD 12"],
+        )
+        # Retired content must no longer match anywhere.
+        assert fast.search("THOMAS J").candidates == (
+            reference.search("THOMAS J").candidates
+        )
+
+
+class TestWordStoreEquivalence:
+    def test_answers_positions_and_costs_identical(self):
+        stores = [
+            EncryptedWordStore(b"word-equiv", bucket_capacity=4,
+                               fast_path=fast_path)
+            for fast_path in (True, False)
+        ]
+        for store in stores:
+            for rid, text in enumerate(TEXTS):
+                store.put(rid, text)
+        fast, reference = stores
+        for word in ("SCHWARZ", "THOMAS", "453-2234", "MISSING",
+                     "AAAABBBBCCCCDDDD"):
+            a = fast.search(word)
+            b = reference.search(word)
+            assert a.matches == b.matches, word
+            assert a.positions == b.positions, word
+            assert a.cost.bytes == b.cost.bytes, word
+            assert a.cost.messages == b.cost.messages, word
+        assert fast.network.stats.bytes == reference.network.stats.bytes
+
+    def test_mutations_tracked(self):
+        stores = [
+            EncryptedWordStore(b"word-mut", bucket_capacity=4,
+                               fast_path=fast_path)
+            for fast_path in (True, False)
+        ]
+        for store in stores:
+            for rid, text in enumerate(TEXTS):
+                store.put(rid, text)
+            store.search("THOMAS")
+            store.put(0, "GOODBYE WORLD")   # overwrite
+            store.delete(1)
+            store.put(50, "THOMAS AGAIN")
+        fast, reference = stores
+        for word in ("THOMAS", "SCHWARZ", "GOODBYE", "WITOLD"):
+            assert fast.search(word).matches == (
+                reference.search(word).matches
+            ), word
+
+
+class TestCompressedEquivalence:
+    def test_answers_and_costs_identical(self):
+        corpus = [t.encode("ascii") for t in TEXTS]
+        stores = [
+            CompressedSearchStore(b"csi-equiv", corpus,
+                                  bucket_capacity=4,
+                                  fast_path=fast_path)
+            for fast_path in (True, False)
+        ]
+        for store in stores:
+            for rid, text in enumerate(TEXTS):
+                store.put(rid, text)
+        fast, reference = stores
+        # Fast and reference paths must build identical index streams
+        # (translate table ≡ per-code PRP loop) ...
+        assert {
+            r.rid: r.content for r in fast.index_file.all_records()
+        } == {
+            r.rid: r.content for r in reference.index_file.all_records()
+        }
+        # ... and answer identically at identical wire cost.
+        for pattern in ("CHWAR", "WITOLD", "BBBBCC", "ZZZ"):
+            a = fast.search(pattern)
+            b = reference.search(pattern)
+            assert a.candidates == b.candidates, pattern
+            assert a.matches == b.matches, pattern
+            assert a.cost.bytes == b.cost.bytes, pattern
+
+    def test_mutations_tracked(self):
+        corpus = [t.encode("ascii") for t in TEXTS]
+        stores = [
+            CompressedSearchStore(b"csi-mut", corpus,
+                                  bucket_capacity=4,
+                                  fast_path=fast_path)
+            for fast_path in (True, False)
+        ]
+        for store in stores:
+            for rid, text in enumerate(TEXTS):
+                store.put(rid, text)
+            store.search("THOMAS")
+            store.put(0, "REPLACEMENT TEXT")
+            store.delete(2)
+        fast, reference = stores
+        for pattern in ("THOMAS", "PLACEMEN", "BBBBCC"):
+            assert fast.search(pattern).candidates == (
+                reference.search(pattern).candidates
+            ), pattern
+
+
+class TestMatcherUnit:
+    """PlanScanMatcher: per-record and per-bucket forms agree."""
+
+    def _bucket(self, store):
+        """Harvest every index record of a store into one dict, as if
+        the whole file were a single bucket."""
+        return {
+            record.rid: record
+            for record in store.index_file.all_records()
+        }
+
+    def test_per_record_vs_match_bucket(self):
+        store = build_store(GRID[1], fast_path=True,
+                            bucket_capacity=1024)
+        records = self._bucket(store)
+        for pattern in PATTERNS:
+            plan = store.pipeline.plan_query(pattern.encode("ascii"))
+            matcher = PlanScanMatcher(plan, store.decode_index_key)
+            scalar = [
+                hit for record in records.values()
+                if (hit := matcher(record)) is not None
+            ]
+            batched = matcher.match_bucket(BucketHaystack(records))
+            assert [
+                (h.rid, h.group, h.site, h.positions) for h in scalar
+            ] == [
+                (h.rid, h.group, h.site, h.positions) for h in batched
+            ], pattern
+
+    def test_batched_disabled_when_fast_path_off(self):
+        store = build_store(GRID[0], fast_path=False)
+        plan = store.pipeline.plan_query(b"SCHWARZ ")
+        matcher = PlanScanMatcher(plan, store.decode_index_key,
+                                  batched=False)
+        assert matcher.match_bucket is None
+        assert getattr(matcher, "match_bucket", None) is None
+
+
+class TestMergeInvalidation:
+    def test_shrinking_file_keeps_batched_scans_exact(self):
+        """Deletes that trigger merges (bucket retirement + record
+        re-absorption) must drop stale haystacks."""
+        from repro.core.compressed_index import CompressedScanMatcher
+
+        file = LHStarFile(name="shrinker", bucket_capacity=4,
+                          shrink=True)
+        for rid in range(32):
+            file.insert(rid, b"PAYLOAD-%03d" % rid)
+        needle = b"PAYLOAD"
+        batched = CompressedScanMatcher((needle,))
+        scalar = CompressedScanMatcher((needle,), batched=False)
+        assert sorted(file.scan(batched, request_size=8)) == sorted(
+            file.scan(scalar, request_size=8)
+        )
+        for rid in range(24):        # force merges
+            file.delete(rid)
+        assert sorted(file.scan(batched, request_size=8)) == sorted(
+            file.scan(scalar, request_size=8)
+        ) == sorted(range(24, 32))
+
+    def test_split_invalidation(self):
+        """Scans straddling splits see exactly the resident records."""
+        from repro.core.compressed_index import CompressedScanMatcher
+
+        file = LHStarFile(name="splitter", bucket_capacity=2)
+        matcher = CompressedScanMatcher((b"R-",))
+        expected: list[int] = []
+        for rid in range(20):
+            file.insert(rid, b"R-%02d" % rid)
+            expected.append(rid)
+            assert sorted(file.scan(matcher, request_size=4)) == expected

@@ -52,6 +52,33 @@ class TestBasics:
         assert store.search("MARTINEZ").matches == frozenset()
         assert not store.delete(4)
 
+    def test_overwrite_replaces_index_wholesale(self):
+        """put() on a present rid: retired content must never match
+        again — including after a search has built bucket haystacks."""
+        corpus = [t.encode("ascii") for t in RECORDS.values()]
+        store = CompressedSearchStore(b"k-ow", corpus)
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        assert store.search("MARIA").candidates == frozenset({3, 4})
+        store.put(3, "SOMETHING ELSE")
+        assert store.get(3) == "SOMETHING ELSE"
+        assert store.search("MARIA").matches == frozenset({4})
+        assert 3 not in store.search("ARBELAEZ").candidates
+        assert store.search("SOMETHING").matches == frozenset({3})
+        assert len(store) == len(RECORDS)
+
+    def test_fast_and_reference_encrypt_identically(self):
+        corpus = [t.encode("ascii") for t in RECORDS.values()]
+        fast = CompressedSearchStore(b"same-key", corpus)
+        reference = CompressedSearchStore(b"same-key", corpus,
+                                          fast_path=False)
+        assert fast._code_map is not None
+        assert reference._code_map is None
+        stream = bytes(range(256)) * 3
+        assert fast._encrypt_stream(stream) == (
+            reference._encrypt_stream(stream)
+        )
+
     def test_index_leaks_no_plaintext(self, store):
         for record in store.index_file.all_records():
             assert b"SCHWARZ" not in record.content

@@ -9,7 +9,12 @@ regardless of its positions payload.
 
 import pytest
 
-from repro.core import EncryptedSearchableStore, SchemeParameters
+from repro.core import (
+    CompressedSearchStore,
+    EncryptedSearchableStore,
+    EncryptedWordStore,
+    SchemeParameters,
+)
 from repro.core.search import SiteHit
 from repro.sdds.lhstar import _hit_size
 
@@ -90,6 +95,52 @@ class TestEntryPointParity:
             result.scan_cost.messages + result.verify_cost.messages
         )
         assert result.verify_cost.messages > 0
+
+
+class TestSection8RequestBilling:
+    """The §8 stores bill the real serialized query, not a constant.
+
+    Regressions for two bookkeeping bugs: the word store hardcoded
+    ``request_size=32 + 16`` regardless of the trapdoor's actual wire
+    size, and the compressed index billed the bare sum of needle bytes
+    with no framing (variants have differing lengths, so the payload
+    is not decodable without length prefixes).
+    """
+
+    def test_word_search_bills_trapdoor_wire_size(self):
+        store = EncryptedWordStore(b"billing-words")
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        trapdoor = store._swp.trapdoor("SCHWARZ")
+        # X (16B pre-encrypted word) + k (16B word key).
+        assert trapdoor.wire_size == 32
+        result = store.search("SCHWARZ")
+        scans = result.cost.by_kind["scan"]
+        assert scans > 0
+        assert result.cost.bytes_by_kind["scan"] == (
+            scans * trapdoor.wire_size
+        )
+
+    def test_compressed_search_bills_framed_needles(self):
+        corpus = [t.encode("ascii") for t in RECORDS.values()]
+        store = CompressedSearchStore(b"billing-csi", corpus)
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        pattern = "SCHWARZ"
+        needles = [
+            store._encrypt_stream(variant)
+            for variant in store.compressor.pattern_variants(
+                pattern.encode("ascii")
+            )
+        ]
+        framed = 1 + sum(2 + len(n) for n in needles)
+        # Framing must cost more than the bare needle bytes the old
+        # accounting billed.
+        assert framed > sum(len(n) for n in needles)
+        result = store.search(pattern)
+        scans = result.cost.by_kind["scan"]
+        assert scans > 0
+        assert result.cost.bytes_by_kind["scan"] == scans * framed
 
 
 class TestHitSizeAccounting:

@@ -138,6 +138,30 @@ class TestEncodingForms:
         with pytest.raises(ConfigurationError):
             enc2.encode_nonoverlapping(b"ABCD", 2)
 
+    def test_sliding_strides_recover_every_offset(self, name_corpus):
+        """One sliding pass over the text contains every offset's
+        non-overlapping values as a stride slice."""
+        enc4 = FrequencyEncoder.train(name_corpus[:300], 4, 16)
+        for text in (b"ARBELAEZ LIBIA MARIA", b"ABCDEFG", b"ABC", b""):
+            sliding = enc4.encode_values_sliding(text)
+            for offset in range(4):
+                assert sliding[offset::4] == (
+                    enc4.encode_values_nonoverlapping(text, offset)
+                ), (text, offset)
+
+    def test_sliding_counts_every_window(self, name_corpus):
+        enc2 = FrequencyEncoder.train(name_corpus[:300], 2, 16)
+        assert len(enc2.encode_values_sliding(b"ABCDE")) == 4
+        assert enc2.encode_values_sliding(b"A") == []
+
+    def test_sliding_step(self, name_corpus):
+        enc2 = FrequencyEncoder.train(name_corpus[:300], 2, 16)
+        assert enc2.encode_values_sliding(b"ABCDEF", step=2) == (
+            enc2.encode_values_nonoverlapping(b"ABCDEF", 0)
+        )
+        with pytest.raises(ConfigurationError):
+            enc2.encode_values_sliding(b"ABCD", step=0)
+
     def test_substring_search_compatibility(self, enc):
         """Encoded query occurs in encoded record wherever the raw
         query occurs in the raw record (100% recall at stage 2)."""

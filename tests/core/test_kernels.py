@@ -105,6 +105,29 @@ class TestEquivalence:
             assert plan.alignments == expected.alignments
             assert plan.required_groups == expected.required_groups
 
+    def test_sliding_build_matches_reference_for_all_lengths(self):
+        """The sliding-window record-build fast path: shared one-pass
+        extraction plus padded head/tail reconstruction must equal the
+        per-group ``record_chunks`` reference for every content length
+        and both partial-chunk policies."""
+        sample = b"SCHWARZ THOMAS J 453-2234\x00"
+        for drop_partial in (False, True):
+            params = SchemeParameters.full(
+                4, n_codes=64, drop_partial_chunks=drop_partial,
+            )
+            encoder = FrequencyEncoder.train(TEXTS, 4, 64)
+            fast = IndexPipeline(params, encoder)
+            reference = IndexPipeline(
+                params, FrequencyEncoder.train(TEXTS, 4, 64),
+                fast_path=False,
+            )
+            for length in range(len(sample)):
+                text = sample[:length]
+                assert (
+                    fast.build_index_streams(text)
+                    == reference.build_index_streams(text)
+                ), (drop_partial, length)
+
     def test_fallback_for_large_domain(self):
         # 32-bit raw chunks exceed the fused bound: no codec.
         pipeline = IndexPipeline(SchemeParameters.full(4))

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.core.wordsearch import EncryptedWordStore, tokenize
+from repro.core.errors import RecordNotFoundError, SchemeError
+from repro.core.wordsearch import (
+    EncryptedWordStore,
+    WordScanMatcher,
+    tokenize,
+)
+from repro.crypto.swp import WORD_BYTES, SwpCipher
+from repro.errors import ReproError
 
 KEY = b"wordsearch-test"
 
@@ -80,8 +87,37 @@ class TestStore:
         ]
 
     def test_decrypt_index_missing(self, store):
-        with pytest.raises(KeyError):
+        """Regression: used to raise a bare ``KeyError``; the typed
+        error keeps that base for legacy callers but joins the
+        ``ReproError`` family."""
+        with pytest.raises(RecordNotFoundError) as excinfo:
             store.decrypt_index_of(404)
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, SchemeError)
+        assert isinstance(excinfo.value, ReproError)
+        # No KeyError repr-quoting of the message.
+        assert str(excinfo.value) == "no index record for rid 404"
+
+    def test_overwrite_replaces_index_wholesale(self, store):
+        """put() on a present rid: old words must never match again,
+        even when the new text is shorter (fewer cells)."""
+        store.put(1, "REPLACED")
+        assert store.get(1) == "REPLACED"
+        assert store.search("SCHWARZ").matches == frozenset({3})
+        assert 1 not in store.search("415-409-9999").matches
+        assert store.search("REPLACED").matches == frozenset({1})
+        assert len(store) == 3
+
+    def test_overwrite_after_search_invalidates_haystack(self):
+        """The batched-scan haystack is built by the first search and
+        must be dropped by the overwrite."""
+        store = EncryptedWordStore(KEY, bucket_capacity=64)
+        for rid, text in RECORDS.items():
+            store.put(rid, text)
+        assert store.search("SCHWARZ").matches == frozenset({1, 3})
+        store.put(1, "GOODBYE")
+        assert store.search("SCHWARZ").matches == frozenset({3})
+        assert store.search("GOODBYE").matches == frozenset({1})
 
     def test_key_separation(self):
         a = EncryptedWordStore(b"key-a")
@@ -90,5 +126,62 @@ class TestStore:
         b.put(1, "SECRET WORD")
         # b's trapdoors do not match a's cells.
         cell_a = a.index_file.lookup(1)[:16]
-        from repro.crypto.swp import SwpCipher
         assert not SwpCipher.match(cell_a, b._swp.trapdoor("SECRET"))
+
+
+class TestBatchedMatching:
+    """Fused SWP cell matching ≡ the per-cell reference loop."""
+
+    def _cells_and_trapdoor(self):
+        swp = SwpCipher(b"batch-match")
+        words = ["ALPHA", "BETA", "ALPHA", "GAMMA", "ALPHA"]
+        cells = b"".join(swp.encrypt_words(9, words))
+        return cells, swp.trapdoor("ALPHA"), swp.trapdoor("OMEGA")
+
+    def test_match_positions_equals_per_cell_match(self):
+        cells, hit_td, miss_td = self._cells_and_trapdoor()
+        for trapdoor in (hit_td, miss_td):
+            reference = [
+                p for p in range(len(cells) // WORD_BYTES)
+                if SwpCipher.match(
+                    cells[WORD_BYTES * p:WORD_BYTES * (p + 1)], trapdoor
+                )
+            ]
+            assert SwpCipher.match_positions(cells, trapdoor) == reference
+        assert SwpCipher.match_positions(cells, hit_td) == [0, 2, 4]
+
+    def test_empty_blob(self):
+        _, trapdoor, _ = self._cells_and_trapdoor()
+        assert SwpCipher.match_positions(b"", trapdoor) == []
+
+    def test_malformed_blob_rejected(self):
+        _, trapdoor, _ = self._cells_and_trapdoor()
+        with pytest.raises(ValueError):
+            SwpCipher.match_positions(b"short", trapdoor)
+
+    def test_matcher_forms_agree(self):
+        from repro.sdds.haystack import BucketHaystack
+        from repro.sdds.records import Record
+
+        swp = SwpCipher(b"matcher-forms")
+        records = {
+            rid: Record(rid, b"".join(swp.encrypt_words(rid, words)))
+            for rid, words in {
+                1: ["HELLO", "WORLD"],
+                2: ["WORLD"],
+                3: ["NOPE"],
+                4: [],
+            }.items()
+        }
+        trapdoor = swp.trapdoor("WORLD")
+        fused = WordScanMatcher(trapdoor)
+        reference = WordScanMatcher(trapdoor, fast_path=False)
+        assert reference.match_bucket is None
+        scalar_hits = [
+            hit for record in records.values()
+            if (hit := reference(record)) is not None
+        ]
+        assert fused.match_bucket(BucketHaystack(records)) == scalar_hits
+        assert [fused(r) for r in records.values()] == [
+            reference(r) for r in records.values()
+        ]

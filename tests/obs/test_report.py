@@ -125,7 +125,7 @@ class TestCacheBreakdown:
         from repro.obs.report import cache_breakdown
 
         table = cache_breakdown({})
-        assert len(table.rows) == 2
+        assert len(table.rows) == 3
         assert table.rows[0][3] == "-"
 
     def test_main_accepts_metrics_json(self, tmp_path, capsys):
