@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Serving demo: the tracing workload on real processes.
+
+The live-backend variant of ``tracing_demo.py``: the same phonebook
+workload, but instead of the discrete-event simulator the store runs
+against a :class:`repro.net.live.LiveCluster` — one OS process per
+bucket plus a coordinator, talking the wire protocol documented in
+``docs/SERVING.md``.  The observability stack is backend-agnostic, so
+the tracer and metrics registry install exactly as they do on the
+simulator; the only new trick is ``network.remote_metrics()``, which
+collects each site process's metrics over the control plane.
+"""
+
+from repro import EncryptedSearchableStore, SchemeParameters
+from repro.net.live import LiveCluster
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    render_report,
+    use_metrics,
+    use_tracer,
+    watch_network,
+)
+
+PHONEBOOK = {
+    4154099999: "415-409-9999 SCHWARZ THOMAS",
+    4154091234: "415-409-1234 LITWIN WITOLD",
+    4154095678: "415-409-5678 TSUI PETER",
+    4154090007: "415-409-0007 ABOGADO ALEJANDRO & CATHERINE",
+}
+
+
+def main() -> None:
+    with LiveCluster(buckets=8) as cluster:
+        net = cluster.connect()
+        store = EncryptedSearchableStore(
+            SchemeParameters.full(4, master_key=b"serving-demo-key"),
+            network=net,
+            bucket_capacity=4,
+            name="demo",
+        )
+        tracer = Tracer(network=net)
+        metrics = MetricsRegistry()
+        watch_network(net, metrics)
+
+        with use_tracer(tracer), use_metrics(metrics):
+            for rid, text in PHONEBOOK.items():
+                store.put(rid, text)
+            result = store.search("SCHWARZ")
+            for rid in sorted(result.matches):
+                store.get(rid)
+
+        print("=== span tree (costs are real wire bytes) ===\n")
+        print(tracer.render_tree())
+
+        print("\n=== per-operation cost breakdown ===\n")
+        print(render_report(tracer.finished))
+
+        print("\n=== client-side metrics ===\n")
+        print(metrics.dump_text())
+
+        print("\n=== per-site metrics (over the control plane) ===\n")
+        for site, dump in sorted(net.remote_metrics().items()):
+            interesting = {
+                name: value for name, value in sorted(dump.items())
+                if value
+            }
+            if interesting:
+                print(f"{site}: {interesting}")
+
+        print(f"\n{net.stats.messages} messages / {net.stats.bytes} "
+              f"bytes billed across {len(cluster.log_paths())} server "
+              f"processes; matches: {sorted(result.matches)}")
+
+
+if __name__ == "__main__":
+    main()

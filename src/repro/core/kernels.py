@@ -45,10 +45,14 @@ True
 
 from __future__ import annotations
 
+import hashlib
+import os
+import struct
 import sys
 import time
 from array import array
 from collections import OrderedDict
+from pathlib import Path
 
 from repro.core.dispersion import Disperser
 from repro.crypto.feistel import FeistelPRP
@@ -180,6 +184,153 @@ def _codec_key(
 _REGISTRY: OrderedDict[tuple, FusedCodec] = OrderedDict()
 
 
+# ---------------------------------------------------------------------------
+# disk persistence
+# ---------------------------------------------------------------------------
+
+#: Environment variable naming the on-disk codec cache directory.
+#: When set (the live serving tier's :class:`~repro.net.live.LiveCluster`
+#: exports it to every bucket process), built tables are persisted and
+#: later processes load them instead of re-running the Feistel PRP over
+#: the whole chunk domain — the dominant cold-start cost.
+CODEC_CACHE_ENV = "REPRO_CODEC_CACHE_DIR"
+
+#: On-disk format version; bumped on any layout change so stale files
+#: miss cleanly instead of decoding garbage.
+DISK_FORMAT_VERSION = 1
+
+_DISK_MAGIC = b"RPCC"
+_DISK_HEADER = struct.Struct(">4sBBHI")
+
+_cache_dir_override: Path | None = None
+
+
+def set_codec_cache_dir(path: str | os.PathLike | None) -> None:
+    """Set (or, with ``None``, clear) an explicit cache directory,
+    overriding :data:`CODEC_CACHE_ENV`."""
+    global _cache_dir_override
+    _cache_dir_override = Path(path) if path is not None else None
+
+
+def codec_cache_dir() -> Path | None:
+    """The active on-disk cache directory, or ``None`` (cache off)."""
+    if _cache_dir_override is not None:
+        return _cache_dir_override
+    env = os.environ.get(CODEC_CACHE_ENV)
+    return Path(env) if env else None
+
+
+def _disk_name(key: tuple) -> str:
+    """Stable file name of one codec key.
+
+    The key tuple contains only ints, bytes, ``None`` and nested
+    tuples (see :func:`_codec_key`), whose ``repr`` is deterministic
+    across processes and runs — hashing it gives a collision-safe,
+    invalidation-correct name: any change to the PRP key, round count,
+    dispersal parameters, piece width or domain changes the digest.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return f"codec-v{DISK_FORMAT_VERSION}-{digest}.bin"
+
+
+def _save_codec_table(
+    path: Path,
+    domain: int,
+    sites: int,
+    piece_width: int,
+    pieces: list[tuple[int, ...]],
+) -> None:
+    """Persist one fused table atomically (write-temp + rename).
+
+    Layout: ``RPCC | version u8 | piece_width u8 | sites u16 |
+    domain u32`` followed by ``domain * sites`` big-endian u16 piece
+    values in value-major order.  Pieces are at most 16 bits by
+    construction (:data:`MAX_FUSED_BITS`).
+    """
+    header = _DISK_HEADER.pack(
+        _DISK_MAGIC, DISK_FORMAT_VERSION, piece_width, sites, domain
+    )
+    body = array("H", [
+        piece for row in pieces for piece in row
+    ])
+    if sys.byteorder == "little":
+        body.byteswap()
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_bytes(header + body.tobytes())
+    os.replace(tmp, path)
+
+
+def _load_codec_table(
+    path: Path, domain: int, sites: int, piece_width: int
+) -> FusedCodec | None:
+    """Load one persisted table; ``None`` on any mismatch or damage
+    (the caller rebuilds — corruption can cost time, never bytes)."""
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    if len(blob) < _DISK_HEADER.size:
+        return None
+    magic, version, width, file_sites, file_domain = (
+        _DISK_HEADER.unpack_from(blob)
+    )
+    if (magic != _DISK_MAGIC or version != DISK_FORMAT_VERSION
+            or width != piece_width or file_sites != sites
+            or file_domain != domain):
+        return None
+    expected = _DISK_HEADER.size + 2 * domain * sites
+    if len(blob) != expected:
+        return None
+    body = array("H")
+    body.frombytes(blob[_DISK_HEADER.size:])
+    if sys.byteorder == "little":
+        body.byteswap()
+    pieces = [
+        tuple(body[value * sites:(value + 1) * sites])
+        for value in range(domain)
+    ]
+    return FusedCodec(domain, sites, piece_width, pieces)
+
+
+def _disk_fetch(
+    key: tuple, domain: int, sites: int, piece_width: int
+) -> FusedCodec | None:
+    directory = codec_cache_dir()
+    if directory is None:
+        return None
+    codec = _load_codec_table(
+        directory / _disk_name(key), domain, sites, piece_width
+    )
+    if codec is not None:
+        metric_inc("kernels.codec.disk_hit")
+    else:
+        metric_inc("kernels.codec.disk_miss")
+    return codec
+
+
+def _disk_store(
+    key: tuple,
+    domain: int,
+    sites: int,
+    piece_width: int,
+    pieces: list[tuple[int, ...]],
+) -> None:
+    directory = codec_cache_dir()
+    if directory is None:
+        return
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        _save_codec_table(
+            directory / _disk_name(key), domain, sites, piece_width,
+            pieces,
+        )
+    except OSError:
+        # Persistence is best-effort: a read-only or full disk costs
+        # the next process a rebuild, nothing else.
+        return
+    metric_inc("kernels.codec.disk_write")
+
+
 def fused_codec(
     prp: FeistelPRP | None,
     disperser: Disperser | None,
@@ -206,24 +357,29 @@ def fused_codec(
         metric_inc("kernels.codec.hit")
         return codec
     metric_inc("kernels.codec.miss")
-    started = time.perf_counter()
-    if prp is not None:
-        encrypted = prp.permutation_table()
-        if encrypted is None:  # domain within max_bits always tables
-            encrypted = [prp.encrypt(value) for value in range(domain)]
-    else:
-        encrypted = range(domain)
-    if disperser is not None:
-        table = disperser.dispersal_table()
-        pieces = [table[image] for image in encrypted]
-        sites = disperser.k
-    else:
-        pieces = [(image,) for image in encrypted]
-        sites = 1
-    codec = FusedCodec(domain, sites, piece_width, pieces)
-    metric_observe(
-        "kernels.codec.build_seconds", time.perf_counter() - started
-    )
+    sites = disperser.k if disperser is not None else 1
+    codec = _disk_fetch(key, domain, sites, piece_width)
+    if codec is None:
+        started = time.perf_counter()
+        if prp is not None:
+            encrypted = prp.permutation_table()
+            if encrypted is None:  # domain within max_bits always
+                encrypted = [
+                    prp.encrypt(value) for value in range(domain)
+                ]
+        else:
+            encrypted = range(domain)
+        if disperser is not None:
+            table = disperser.dispersal_table()
+            pieces = [table[image] for image in encrypted]
+        else:
+            pieces = [(image,) for image in encrypted]
+        codec = FusedCodec(domain, sites, piece_width, pieces)
+        metric_observe(
+            "kernels.codec.build_seconds",
+            time.perf_counter() - started,
+        )
+        _disk_store(key, domain, sites, piece_width, pieces)
     _REGISTRY[key] = codec
     while len(_REGISTRY) > CACHE_CAPACITY:
         _REGISTRY.popitem(last=False)

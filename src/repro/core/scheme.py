@@ -35,6 +35,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.index import IndexPipeline
 from repro.core.search import (
     HitAggregator,
+    IndexKeyCodec,
     MultiPlanScanMatcher,
     PlanScanMatcher,
     SiteHit,
@@ -101,6 +102,21 @@ class StorageFootprint:
         if self.record_bytes == 0:
             return 0.0
         return self.index_bytes / self.record_bytes
+
+
+@dataclass(frozen=True)
+class BatchHitReporter:
+    """The report factory of a multiplexed scan round.
+
+    A named, parameter-only callable (rather than a closure) so the
+    wire codec can ship a :class:`~repro.core.search.MultiPlanScanMatcher`
+    to a bucket process and rebuild an identical reporter there.
+    """
+
+    tagged: bool
+
+    def __call__(self, index: int, hit: SiteHit) -> "_BatchHit":
+        return _BatchHit(index=index, hit=hit, tagged=self.tagged)
 
 
 @dataclass
@@ -179,6 +195,11 @@ class EncryptedSearchableStore:
         self._site_bits = max(sites - 1, 0).bit_length()
         self._group_bits = max(groups - 1, 0).bit_length()
         self._suffix_bits = self._site_bits + self._group_bits
+        #: Wire-encodable inverse of :meth:`index_key`, handed to scan
+        #: matchers so they can cross a process boundary.
+        self.key_codec = IndexKeyCodec(
+            site_bits=self._site_bits, group_bits=self._group_bits
+        )
         self._rids: set[int] = set()
 
     # -- index keying --------------------------------------------------------
@@ -192,10 +213,7 @@ class EncryptedSearchableStore:
         )
 
     def decode_index_key(self, key: int) -> tuple[int, int, int]:
-        site = key & ((1 << self._site_bits) - 1)
-        group = (key >> self._site_bits) & ((1 << self._group_bits) - 1)
-        rid = key >> self._suffix_bits
-        return rid, group, site
+        return self.key_codec(key)
 
     # -- text <-> content (8-bit ASCII or 16-bit Unicode symbols) --------------
 
@@ -386,7 +404,7 @@ class EncryptedSearchableStore:
         before = self.network.stats.snapshot()
         started = self.network.now
         matcher = PlanScanMatcher(
-            plan, self.decode_index_key,
+            plan, self.key_codec,
             batched=self.pipeline.fast_path,
         )
         hits = self.index_file.scan(
@@ -434,12 +452,10 @@ class EncryptedSearchableStore:
         """One scan matcher multiplexing several query plans; reports
         are :class:`_BatchHit`\\ s, demux-tagged only when the round
         actually ships several patterns."""
-        tagged = len(plans) > 1
         return MultiPlanScanMatcher(
             plans,
-            self.decode_index_key,
-            lambda index, hit: _BatchHit(index=index, hit=hit,
-                                         tagged=tagged),
+            self.key_codec,
+            BatchHitReporter(tagged=len(plans) > 1),
             batched=self.pipeline.fast_path,
         )
 

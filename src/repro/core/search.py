@@ -87,6 +87,33 @@ class SearchPlan:
         )
 
 
+@dataclass(frozen=True)
+class IndexKeyCodec:
+    """The bit layout of the scheme's index keys, as a first-class
+    value.
+
+    The store packs ``RID · 2^b | group · 2^(site bits) | site`` into
+    one integer key (paper §5); matchers need the inverse to attribute
+    hits.  Passing this dataclass (rather than a bound method of the
+    store) keeps matchers *wire-encodable*: the live transport ships a
+    matcher to a bucket process as ``(plan, site_bits, group_bits)``
+    and reconstructs an identical codec on the far side.
+
+    >>> codec = IndexKeyCodec(site_bits=2, group_bits=1)
+    >>> codec((5 << 3) | (1 << 2) | 2)
+    (5, 1, 2)
+    """
+
+    site_bits: int
+    group_bits: int
+
+    def __call__(self, key: int) -> tuple[int, int, int]:
+        site = key & ((1 << self.site_bits) - 1)
+        group = (key >> self.site_bits) & ((1 << self.group_bits) - 1)
+        rid = key >> (self.site_bits + self.group_bits)
+        return rid, group, site
+
+
 @dataclass
 class SiteHit:
     """One site's report for one record: where each alignment matched."""

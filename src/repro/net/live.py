@@ -1,0 +1,775 @@
+"""The live (socket) backend of the :class:`Network` contract.
+
+:class:`LiveNetwork` is a drop-in for the simulated
+:class:`repro.net.simulator.Network`: the *same* LH* protocol actors
+run unmodified, but buckets and the coordinator live in separate
+processes (see :mod:`repro.net.serve`) and messages cross real TCP
+connections in :mod:`repro.net.wire` frames.  The client process keeps
+only client actors locally; ``attach`` of a bucket or coordinator
+turns into an (unbilled) control message to the hosting site, and the
+local protocol object stays behind as an inert shadow.
+
+``run()`` keeps the simulator's run-to-quiescence meaning over real
+sockets: pump connections, fire due wall-clock timers, dispatch
+inbound messages — and, once locally idle, take a cluster-wide census
+of conservation counters (messages sent vs delivered, buffered
+messages, armed timers).  The network is quiescent when two
+consecutive censuses agree and balance.  Each census also folds the
+sites' :class:`~repro.net.stats.NetworkStats` deltas into the local
+``stats`` object, so snapshot/diff costing — and therefore billing —
+works exactly like the simulator: every message is billed once, at
+its sender's site, at its declared size.
+
+Scope (v1): plain :class:`~repro.sdds.lhstar.LHStarFile` with
+``split_policy="uncontrolled"`` and ``shrink=False``; crash/restore of
+hosted nodes (the PR-1 retry and PR-3 crash-detection paths run over
+real sockets); no partitions, no LH*RS parity groups.  Unsupported
+configurations raise :class:`LiveUnsupportedError` at attach time.
+
+>>> # quickstart (see docs/SERVING.md):
+>>> # with LiveCluster(buckets=4) as cluster:
+>>> #     network = cluster.connect()
+>>> #     file = LHStarFile(network=network)
+>>> #     file.insert(1, b"payload")
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import select
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Hashable
+
+from repro.errors import ReproError, UnknownNodeError
+from repro.net import wire
+from repro.net.serve import ClusterConfig, peer_of
+from repro.net.simulator import (
+    LatencyModel,
+    Message,
+    Node,
+    Timer,
+    wire_checksum,
+)
+from repro.net.stats import NetworkStats
+
+
+class LiveBackendError(ReproError, RuntimeError):
+    """The live transport failed operationally (connection lost,
+    control error, quiescence timeout, site process died)."""
+
+
+class LiveUnsupportedError(LiveBackendError):
+    """The requested configuration or operation is outside the live
+    backend's v1 scope (parity groups, shrink, partitions, ...)."""
+
+
+#: How long ``LiveNetwork.run`` may chase quiescence before giving up.
+DEFAULT_RUN_TIMEOUT = 60.0
+#: Control-message round-trip allowance.
+CTRL_TIMEOUT = 15.0
+#: Socket-level connect retry window while sites boot.
+CONNECT_TIMEOUT = 30.0
+
+
+class _Conn:
+    """One client connection to a site process."""
+
+    def __init__(self, key: tuple, sock: socket.socket) -> None:
+        self.key = key
+        self.sock = sock
+        self.decoder = wire.FrameDecoder()
+        self.outbuf = bytearray()
+        self.acks: dict[int, dict] = {}
+
+
+def _dial(host: str, port: int,
+          timeout: float = CONNECT_TIMEOUT) -> socket.socket:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=2.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
+            return sock
+        except OSError:
+            if time.monotonic() > deadline:
+                raise LiveBackendError(
+                    f"cannot connect to site at {host}:{port}"
+                ) from None
+            time.sleep(0.1)
+
+
+class LiveNetwork:
+    """The client-process half of the live transport.
+
+    Implements the simulator's :class:`Network` surface for locally
+    attached client nodes; bucket and coordinator attachment is
+    forwarded to the hosting processes."""
+
+    def __init__(self, config: ClusterConfig,
+                 run_timeout: float = DEFAULT_RUN_TIMEOUT) -> None:
+        self.config = config
+        self.run_timeout = run_timeout
+        self.stats = NetworkStats()
+        self.observer: Any | None = None
+        #: Locally hosted nodes (clients).  Shadow ids of remotely
+        #: hosted nodes are tracked separately.
+        self.nodes: dict[Hashable, Node] = {}
+        self._shadows: set[Hashable] = set()
+        self.delivered = 0
+        self.now = 0.0
+        # Unused compatibility surface (chaos/fault models are
+        # simulator-only; kept so duck-typed readers find them).
+        self.latency = LatencyModel()
+        self.faults = None
+        self.crashes = None
+        self.schedules: list[Any] = []
+        self._t0 = time.monotonic()
+        self._sent = 0
+        self._inbox: list[Message] = []
+        self._timers: list[tuple[float, int, Timer]] = []
+        self._sequence = itertools.count()
+        self._tokens = itertools.count(1)
+        self._crashed: set[Hashable] = set()
+        #: Last stats snapshot census saw per site, for delta merging.
+        self._site_baseline: dict[tuple, NetworkStats] = {}
+        self._conns: dict[tuple, _Conn] = {}
+        self._closed = False
+        for index in range(len(config.buckets)):
+            key = ("bucket", index)
+            self._conns[key] = _Conn(
+                key, _dial(*config.peer_address(key)))
+        key = ("coordinator",)
+        self._conns[key] = _Conn(key, _dial(*config.peer_address(key)))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns.values():
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "LiveNetwork":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- topology --------------------------------------------------------
+
+    def attach(self, node: Node) -> Node:
+        from repro.sdds.lhstar import (
+            LHStarBucket,
+            LHStarCoordinator,
+            LHStarFile,
+        )
+
+        node_id = node.node_id
+        family = node_id[0] if (isinstance(node_id, tuple)
+                                and node_id) else None
+        if family == "client":
+            if node_id in self.nodes:
+                raise ValueError(f"duplicate node id {node_id!r}")
+            node.network = self
+            self.nodes[node_id] = node
+            for key in self._conns:
+                self._roundtrip(key, {"ctrl": "register_client",
+                                      "node": node_id})
+            return node
+        if family == "bucket":
+            if type(node) is not LHStarBucket:
+                raise LiveUnsupportedError(
+                    f"{type(node).__name__} buckets are not hosted by "
+                    "the live backend v1 (plain LH* only)"
+                )
+            file = node.file
+            if node.address >= len(self.config.buckets):
+                raise LiveBackendError(
+                    f"bucket address {node.address} needs a site, but "
+                    f"the cluster has {len(self.config.buckets)} "
+                    "bucket processes"
+                )
+            self._roundtrip(("bucket", node.address), {
+                "ctrl": "create_bucket",
+                "name": file.name,
+                "address": node.address,
+                "level": node.level,
+                "pending": node.pending,
+                "bucket_capacity": file.bucket_capacity,
+                "shrink": file.shrink,
+                "split_policy": file.split_policy,
+                "load_factor_threshold": file.load_factor_threshold,
+                "merge_threshold": file.merge_threshold,
+                "retry_policy": file.retry_policy,
+            })
+            node.network = self
+            self._shadows.add(node_id)
+            return node
+        if family == "coordinator":
+            if type(node) is not LHStarCoordinator:
+                raise LiveUnsupportedError(
+                    f"{type(node).__name__} is not hosted by the live "
+                    "backend v1"
+                )
+            file = node.file
+            if type(file) is not LHStarFile:
+                raise LiveUnsupportedError(
+                    f"{type(file).__name__} needs node families the "
+                    "live backend v1 does not host (parity groups)"
+                )
+            if file.split_policy != "uncontrolled":
+                raise LiveUnsupportedError(
+                    "live backend v1 supports "
+                    "split_policy='uncontrolled' only"
+                )
+            if file.shrink:
+                raise LiveUnsupportedError(
+                    "live backend v1 does not support file shrinking"
+                )
+            self._roundtrip(("coordinator",), {
+                "ctrl": "create_coordinator",
+                "name": file.name,
+                "bucket_capacity": file.bucket_capacity,
+                "shrink": file.shrink,
+                "split_policy": file.split_policy,
+                "load_factor_threshold": file.load_factor_threshold,
+                "merge_threshold": file.merge_threshold,
+                "retry_policy": file.retry_policy,
+            })
+            node.network = self
+            self._shadows.add(node_id)
+            return node
+        raise LiveUnsupportedError(
+            f"node family {family!r} is not hosted by the live backend"
+        )
+
+    def detach(self, node_id: Hashable) -> None:
+        if node_id in self.nodes:
+            self.nodes.pop(node_id).network = None
+            return
+        if node_id in self._shadows:
+            self._shadows.discard(node_id)
+            return
+        raise UnknownNodeError(f"unknown node {node_id!r}")
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self.nodes or node_id in self._shadows
+
+    # -- crash faults ----------------------------------------------------
+
+    def crash(self, node_id: Hashable) -> None:
+        """Crash a hosted node: its site drops (and bills) inbound
+        messages and freezes its timers, exactly like the simulator.
+        Records survive — this models a host outage, not disk loss."""
+        peer = peer_of(node_id)
+        if peer is None:
+            raise LiveUnsupportedError(
+                "only hosted (bucket/coordinator) nodes can crash on "
+                "the live backend"
+            )
+        if node_id not in self._shadows:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        self._roundtrip(peer, {"ctrl": "crash", "node": node_id})
+        self._crashed.add(node_id)
+
+    def restore(self, node_id: Hashable) -> bool:
+        peer = peer_of(node_id)
+        if peer is None or node_id not in self._shadows:
+            return False
+        reply = self._roundtrip(peer, {"ctrl": "restore",
+                                       "node": node_id})
+        self._crashed.discard(node_id)
+        return bool(reply["was_crashed"])
+
+    def is_crashed(self, node_id: Hashable) -> bool:
+        return node_id in self._crashed
+
+    def partition(self, group_a: Any, group_b: Any,
+                  symmetric: bool = True) -> None:
+        raise LiveUnsupportedError(
+            "network partitions are simulator-only")
+
+    def heal(self, group_a: Any = None, group_b: Any = None,
+             symmetric: bool = True) -> None:
+        raise LiveUnsupportedError(
+            "network partitions are simulator-only")
+
+    # -- messaging -------------------------------------------------------
+
+    def send(self, src: Hashable, dst: Hashable, kind: str,
+             payload: dict | None = None, size: int = 64,
+             hops: int = 0) -> Message:
+        """Bill and ship one message.  Billing happens here, at the
+        declared size — the same accounting point as the simulator."""
+        payload = payload or {}
+        self.stats.record(kind, size)
+        if self.observer is not None:
+            self.observer.on_send(kind, size)
+        self._sent += 1
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          size=size, hops=hops, send_time=self.now)
+        if dst in self.nodes:
+            self._inbox.append(message)
+            return message
+        peer = peer_of(dst)
+        if peer is None:
+            raise LiveUnsupportedError(
+                f"cannot route to node family of {dst!r}")
+        if peer[0] == "bucket" and peer[1] >= len(self.config.buckets):
+            raise LiveBackendError(
+                f"no site hosts bucket address {peer[1]}")
+        self._conns[peer].outbuf += wire.encode_frame(
+            wire.CHANNEL_DATA, wire.message_to_wire(message))
+        return message
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 owner: Hashable | None = None) -> Timer:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        timer = Timer(self._mono() + delay, callback, owner=owner)
+        heapq.heappush(self._timers,
+                       (timer.when, next(self._sequence), timer))
+        return timer
+
+    def reset_clock(self) -> None:
+        live = [entry for entry in self._timers
+                if not entry[2].cancelled]
+        if live or self._inbox:
+            raise RuntimeError("cannot reset the clock with messages "
+                               "in flight")
+        self._timers.clear()
+        self._t0 = time.monotonic()
+        self.now = 0.0
+
+    # -- the event pump --------------------------------------------------
+
+    def _mono(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _pump(self, timeout: float) -> bool:
+        """One socket round: flush pending writes, read, decode."""
+        if self._closed:
+            raise LiveBackendError("network is closed")
+        conns = list(self._conns.values())
+        rlist = [c.sock for c in conns]
+        wlist = [c.sock for c in conns if c.outbuf]
+        readable, writable, __ = select.select(rlist, wlist, [],
+                                               timeout)
+        by_sock = {c.sock: c for c in conns}
+        progress = False
+        for sock in writable:
+            conn = by_sock[sock]
+            try:
+                sent = sock.send(conn.outbuf)
+            except BlockingIOError:
+                continue
+            except OSError as exc:
+                raise LiveBackendError(
+                    f"connection to site {conn.key!r} failed: {exc}"
+                ) from exc
+            if sent:
+                del conn.outbuf[:sent]
+                progress = True
+        for sock in readable:
+            conn = by_sock[sock]
+            try:
+                data = sock.recv(1 << 16)
+            except BlockingIOError:
+                continue
+            except OSError as exc:
+                raise LiveBackendError(
+                    f"connection to site {conn.key!r} failed: {exc}"
+                ) from exc
+            if not data:
+                raise LiveBackendError(
+                    f"site {conn.key!r} closed the connection (check "
+                    "its server log)"
+                )
+            conn.decoder.feed(data)
+            for channel, value in conn.decoder.frames():
+                progress = True
+                if channel == wire.CHANNEL_DATA:
+                    self._inbox.append(wire.message_from_wire(value))
+                elif (isinstance(value, dict)
+                        and value.get("ctrl") == "ack"):
+                    conn.acks[value["token"]] = value
+        return progress
+
+    def _fire_due_timers(self) -> bool:
+        fired = False
+        now = self._mono()
+        while self._timers and self._timers[0][0] <= now:
+            __, __, timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            self.now = max(self.now, timer.when)
+            timer.fired = True
+            timer.callback()
+            fired = True
+        return fired
+
+    def _next_timer_due(self) -> float | None:
+        while self._timers and self._timers[0][2].cancelled:
+            heapq.heappop(self._timers)
+        if not self._timers:
+            return None
+        return self._timers[0][0]
+
+    def _dispatch_inbox(self) -> bool:
+        progress = False
+        while self._inbox:
+            message = self._inbox.pop(0)
+            progress = True
+            self.now = max(self.now, self._mono())
+            node = self.nodes.get(message.dst)
+            if node is None:
+                # Meanwhile-detached client: the message crossed the
+                # wire and dies here, billed like the simulator.
+                self.stats.crashed_drops += 1
+                self.delivered += 1
+                continue
+            if message.checksum and message.checksum != wire_checksum(
+                    message.kind, message.payload, message.size):
+                self.stats.corrupted += 1
+                self.delivered += 1
+                continue
+            self.delivered += 1
+            if self.observer is not None:
+                self.observer.on_deliver(
+                    message.kind, message.size,
+                    self.now - message.send_time)
+            node.handle(message)
+        return progress
+
+    def _service(self, timeout: float) -> bool:
+        progress = self._pump(timeout)
+        if self._fire_due_timers():
+            progress = True
+        if self._dispatch_inbox():
+            progress = True
+        return progress
+
+    # -- control plane ---------------------------------------------------
+
+    def _roundtrip(self, key: tuple, payload: dict,
+                   timeout: float = CTRL_TIMEOUT) -> dict:
+        conn = self._conns[key]
+        token = next(self._tokens)
+        request = dict(payload)
+        request["token"] = token
+        conn.outbuf += wire.encode_frame(wire.CHANNEL_CTRL, request)
+        deadline = time.monotonic() + timeout
+        while token not in conn.acks:
+            self._pump(0.05)
+            if time.monotonic() > deadline:
+                raise LiveBackendError(
+                    f"site {key!r} did not acknowledge "
+                    f"{payload.get('ctrl')!r} within {timeout}s"
+                )
+        reply = conn.acks.pop(token)
+        if not reply.get("ok", True):
+            raise LiveBackendError(
+                f"control {payload.get('ctrl')!r} failed at site "
+                f"{key!r}: {reply.get('error')}"
+            )
+        return reply
+
+    def _merge_site_stats(self, key: tuple,
+                          snapshot: NetworkStats) -> None:
+        """Fold a site's stats growth since the last census into the
+        local stats object (additive, so the client's own billing —
+        including its direct ``retries`` bumps — is preserved)."""
+        baseline = self._site_baseline.get(key)
+        delta = snapshot.diff(baseline) if baseline else snapshot
+        self._site_baseline[key] = snapshot
+        self.stats.messages += delta.messages
+        self.stats.bytes += delta.bytes
+        self.stats.by_kind.update(delta.by_kind)
+        self.stats.bytes_by_kind.update(delta.bytes_by_kind)
+        self.stats.dropped += delta.dropped
+        self.stats.duplicated += delta.duplicated
+        self.stats.retries += delta.retries
+        self.stats.crashed_drops += delta.crashed_drops
+        self.stats.partitioned_drops += delta.partitioned_drops
+        self.stats.corrupted += delta.corrupted
+
+    def _census(self) -> tuple[bool, tuple | None]:
+        """One cluster-wide conservation census.
+
+        Returns ``(quiescent, totals)``; ``totals`` feeds the
+        two-identical-rounds rule in :meth:`run`."""
+        sent = self._sent
+        delivered = self.delivered
+        buffered = 0
+        timers = 0 if self._next_timer_due() is None else 1
+        for key in self._conns:
+            reply = self._roundtrip(key, {"ctrl": "census"})
+            sent += reply["sent"]
+            delivered += reply["delivered"]
+            buffered += reply["buffered"]
+            timers += reply["timers"]
+            self._merge_site_stats(key, reply["stats"])
+        if self._inbox:
+            # Data slipped in during the census: not idle after all.
+            return False, None
+        quiescent = (sent == delivered and buffered == 0
+                     and timers == 0)
+        return quiescent, (sent, delivered)
+
+    def remote_metrics(self) -> dict[tuple, dict]:
+        """Per-site metrics registries (for live tracing demos)."""
+        result = {}
+        for key in self._conns:
+            reply = self._roundtrip(key, {"ctrl": "census"})
+            self._merge_site_stats(key, reply["stats"])
+            result[key] = reply["metrics"]
+        return result
+
+    def dump_buckets(self, name: str) -> dict[int, dict]:
+        """All hosted buckets of file ``name`` (the live counterpart
+        of reading ``file.buckets`` in the simulator)."""
+        result: dict[int, dict] = {}
+        for key in self._conns:
+            if key[0] != "bucket":
+                continue
+            reply = self._roundtrip(key, {"ctrl": "dump",
+                                          "name": name})
+            result.update(reply["buckets"])
+        return result
+
+    def coordinator_state(self, name: str) -> dict:
+        return self._roundtrip(("coordinator",), {"ctrl": "state",
+                                                  "name": name})
+
+    # -- run to quiescence -----------------------------------------------
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Pump until the whole cluster is quiescent.
+
+        The live analogue of the simulator's event loop draining its
+        queue: local sockets and timers first, then a cluster census;
+        done when two consecutive censuses balance and agree."""
+        start = self.delivered
+        deadline = time.monotonic() + self.run_timeout
+        last_totals: tuple | None = None
+        while True:
+            if time.monotonic() > deadline:
+                raise LiveBackendError(
+                    f"cluster did not quiesce within "
+                    f"{self.run_timeout}s (sent={self._sent}, "
+                    f"delivered={self.delivered})"
+                )
+            if self._service(0.002):
+                last_totals = None
+                continue
+            due = self._next_timer_due()
+            if due is not None:
+                # A local timer (e.g. a retry timeout) is armed: wait
+                # it out, but stay responsive to inbound data.
+                wait = min(max(due - self._mono(), 0.0), 0.05)
+                self._service(wait)
+                last_totals = None
+                continue
+            quiescent, totals = self._census()
+            if not quiescent:
+                last_totals = None
+                self._service(0.005)
+                continue
+            if totals == last_totals:
+                return self.delivered - start
+            last_totals = totals
+
+
+# ---------------------------------------------------------------------------
+# cluster lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _free_ports(host: str, count: int) -> list[int]:
+    """Reserve ``count`` distinct free TCP ports (standard
+    bind-0-then-close trick; the tiny race is acceptable for tests)."""
+    sockets = []
+    ports = []
+    try:
+        for __ in range(count):
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def _tail(path: Path, lines: int = 20) -> str:
+    try:
+        content = path.read_text(errors="replace").splitlines()
+    except OSError:
+        return "<no log>"
+    return "\n".join(content[-lines:])
+
+
+class LiveCluster:
+    """Spawns and supervises the site processes of one live cluster.
+
+    >>> # with LiveCluster(buckets=4) as cluster:
+    >>> #     network = cluster.connect()
+    """
+
+    def __init__(self, buckets: int = 4, host: str = "127.0.0.1",
+                 log_dir: str | os.PathLike | None = None,
+                 env: dict[str, str] | None = None,
+                 startup_timeout: float = CONNECT_TIMEOUT,
+                 codec_cache_dir: str | os.PathLike | None = None
+                 ) -> None:
+        if buckets < 1:
+            raise ValueError("a cluster needs at least one bucket site")
+        self.buckets = buckets
+        self.host = host
+        self.extra_env = dict(env or {})
+        self.startup_timeout = startup_timeout
+        #: Where site processes persist fused codec tables (see
+        #: ``repro.core.kernels``).  ``None`` = a cluster-private
+        #: directory inside the workdir, so a cluster's N bucket
+        #: processes build each table once instead of N times.
+        self.codec_cache_dir = codec_cache_dir
+        self._log_dir = Path(log_dir) if log_dir else None
+        self._tmp: tempfile.TemporaryDirectory | None = None
+        self._procs: dict[tuple, subprocess.Popen] = {}
+        self._logs: dict[tuple, Path] = {}
+        self._networks: list[LiveNetwork] = []
+        self.config: ClusterConfig | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "LiveCluster":
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-live-")
+        workdir = Path(self._tmp.name)
+        log_dir = self._log_dir or workdir
+        log_dir.mkdir(parents=True, exist_ok=True)
+        ports = _free_ports(self.host, self.buckets + 1)
+        self.config = ClusterConfig(self.host, ports[0], ports[1:])
+        config_path = workdir / "cluster.json"
+        self.config.dump(str(config_path))
+
+        env = dict(os.environ)
+        env.update(self.extra_env)
+        from repro.core.kernels import CODEC_CACHE_ENV
+
+        cache_dir = Path(self.codec_cache_dir
+                         or workdir / "codec-cache")
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        env.setdefault(CODEC_CACHE_ENV, str(cache_dir))
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src_root + (os.pathsep + existing if existing else "")
+            )
+
+        def spawn(key: tuple, role: str, index: int) -> None:
+            label = f"{role}-{index}" if role == "bucket" else role
+            log_path = log_dir / f"{label}.log"
+            handle = open(log_path, "wb")
+            try:
+                proc = subprocess.Popen(
+                    [sys.executable, "-m", "repro.net.serve",
+                     "--role", role, "--index", str(index),
+                     "--config", str(config_path)],
+                    stdout=handle, stderr=subprocess.STDOUT, env=env,
+                )
+            finally:
+                handle.close()
+            self._procs[key] = proc
+            self._logs[key] = log_path
+
+        for index in range(self.buckets):
+            spawn(("bucket", index), "bucket", index)
+        spawn(("coordinator",), "coordinator", 0)
+        self._await_ready()
+        return self
+
+    def _await_ready(self) -> None:
+        assert self.config is not None
+        deadline = time.monotonic() + self.startup_timeout
+        for key, proc in self._procs.items():
+            host, port = self.config.peer_address(key)
+            while True:
+                if proc.poll() is not None:
+                    raise LiveBackendError(
+                        f"site process {key!r} exited with code "
+                        f"{proc.returncode} during startup; log tail:\n"
+                        + _tail(self._logs[key])
+                    )
+                try:
+                    probe = socket.create_connection((host, port),
+                                                     timeout=1.0)
+                    probe.close()
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        raise LiveBackendError(
+                            f"site {key!r} did not come up within "
+                            f"{self.startup_timeout}s; log tail:\n"
+                            + _tail(self._logs[key])
+                        ) from None
+                    time.sleep(0.05)
+
+    def connect(self,
+                run_timeout: float = DEFAULT_RUN_TIMEOUT) -> LiveNetwork:
+        if self.config is None:
+            raise LiveBackendError("cluster is not started")
+        network = LiveNetwork(self.config, run_timeout=run_timeout)
+        self._networks.append(network)
+        return network
+
+    def log_paths(self) -> dict[tuple, Path]:
+        return dict(self._logs)
+
+    def shutdown(self) -> None:
+        for network in self._networks:
+            network.close()
+        self._networks.clear()
+        for key, proc in self._procs.items():
+            if proc.poll() is not None:
+                continue
+            try:
+                assert self.config is not None
+                sock = socket.create_connection(
+                    self.config.peer_address(key), timeout=2.0)
+                sock.sendall(wire.encode_frame(
+                    wire.CHANNEL_CTRL, {"ctrl": "shutdown"}))
+                sock.close()
+            except OSError:
+                pass
+        for proc in self._procs.values():
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        self._procs.clear()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+        self.config = None
+
+    def __enter__(self) -> "LiveCluster":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,709 @@
+"""Bucket and coordinator server processes for the live transport.
+
+``python -m repro.net.serve --role bucket --index K --config cluster.json``
+hosts LH* bucket ``K`` (one process per bucket address, for every file
+name in the cluster); ``--role coordinator`` hosts the split
+coordinators.  Both run the *unmodified* protocol actors from
+:mod:`repro.sdds.lhstar` over an asyncio socket loop speaking the
+:mod:`repro.net.wire` frame format — the protocol logic cannot drift
+between the simulator and the live deployment because it is the same
+code.
+
+Each process owns:
+
+* a :class:`SiteNetwork` — the :class:`~repro.net.simulator.Network`
+  surface its local nodes see.  ``send`` bills the local
+  :class:`~repro.net.stats.NetworkStats` at the declared size exactly
+  like the simulator, then routes the frame to the hosting peer;
+  ``schedule`` arms real-time asyncio timers with the simulator's
+  crash-freeze semantics.
+* a control plane (unbilled, ``CHANNEL_CTRL``): node creation, crash
+  and restore flags, census, record dumps, shutdown.  Control traffic
+  deliberately mirrors the simulator's unbilled *method calls*
+  (``Network.crash`` etc.).
+* conservation counters (data messages sent / delivered / buffered)
+  the client's census sums to detect global quiescence — the live
+  equivalent of the simulator's run-to-quiescence event loop.
+
+Crashing a bucket process (``LiveNetwork.crash``) sets a flag at its
+hosting site: inbound data for the node is dropped and billed as
+``crashed_drops``, owned timers freeze, and ``restore`` re-arms them
+— byte-for-byte the accounting of the simulated ``Network.crash``,
+with records preserved across the outage.
+
+See ``docs/SERVING.md`` for the topology and wire format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import sys
+from typing import Any, Callable, Hashable
+
+from repro.errors import UnknownNodeError
+from repro.net import wire
+from repro.net.simulator import Message, Node, Timer
+from repro.net.stats import NetworkStats
+from repro.obs import metrics as obs_metrics
+
+log = logging.getLogger("repro.net.serve")
+
+#: Seconds between redials while a peer site is still starting up.
+DIAL_RETRY_DELAY = 0.2
+#: Give up dialing a peer after this many seconds.
+DIAL_TIMEOUT = 30.0
+
+
+class ClusterConfig:
+    """The cluster's address map, shared by every process via JSON."""
+
+    def __init__(self, host: str, coordinator: int,
+                 buckets: list[int]) -> None:
+        self.host = host
+        self.coordinator = coordinator
+        self.buckets = list(buckets)
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterConfig":
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        return cls(raw["host"], raw["coordinator"], raw["buckets"])
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"host": self.host,
+                       "coordinator": self.coordinator,
+                       "buckets": self.buckets}, handle)
+
+    def peer_address(self, key: tuple) -> tuple[str, int]:
+        if key[0] == "coordinator":
+            return self.host, self.coordinator
+        return self.host, self.buckets[key[1]]
+
+
+def peer_of(node_id: Hashable) -> tuple | None:
+    """The hosting-process key of a protocol node id, or ``None``
+    for client nodes (which live in the connecting process)."""
+    if not isinstance(node_id, tuple) or not node_id:
+        return None
+    if node_id[0] == "bucket":
+        return ("bucket", node_id[2])
+    if node_id[0] == "coordinator":
+        return ("coordinator",)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# shell files: the LHStarFile surface the hosted actors consume
+# ---------------------------------------------------------------------------
+
+
+class _StubBucket:
+    """Placeholder for a bucket hosted in another process."""
+
+    records: dict = {}
+
+
+class _StubBuckets:
+    """The coordinator's ``file.buckets`` view in live mode.
+
+    The coordinator only reads it for a load metric on split
+    (``len(file.buckets[n].records)``); the real records live in the
+    bucket processes, so the metric observes 0 here — a documented
+    live-mode deviation that touches metrics only, never protocol."""
+
+    def __getitem__(self, address: int) -> _StubBucket:
+        return _StubBucket()
+
+    def get(self, address: int) -> _StubBucket:
+        return _StubBucket()
+
+
+class ShellFile:
+    """The slice of :class:`~repro.sdds.lhstar.LHStarFile` a hosted
+    actor actually touches, reconstructed from a ``create_*`` control
+    message.  Identifier formulas are duplicated *by value* from the
+    real file (asserted equal in the test suite)."""
+
+    def __init__(self, server: "SiteServer", name: str,
+                 bucket_capacity: int, shrink: bool,
+                 split_policy: str, load_factor_threshold: float,
+                 merge_threshold: float, retry_policy) -> None:
+        self.server = server
+        self.network = server.network
+        self.name = name
+        self.bucket_capacity = bucket_capacity
+        self.shrink = shrink
+        self.split_policy = split_policy
+        self.load_factor_threshold = load_factor_threshold
+        self.merge_threshold = merge_threshold
+        self.retry_policy = retry_policy
+        self.record_count = 0
+        #: The locally hosted buckets of this file (at most one per
+        #: bucket process); the coordinator sees stubs instead.
+        self.local_buckets: dict[int, Any] = {}
+
+    # -- identifiers (same formulas as LHStarFile) -----------------------
+
+    def bucket_id(self, address: int) -> Hashable:
+        return ("bucket", self.name, address)
+
+    def client_id(self, index: int) -> Hashable:
+        return ("client", self.name, index)
+
+    @property
+    def coordinator_id(self) -> Hashable:
+        return ("coordinator", self.name)
+
+    # -- bookkeeping hooks (plain LH*: no parity layer) -------------------
+
+    def on_store(self, address, record, old) -> None:
+        if old is None:
+            self.record_count += 1
+
+    def on_remove(self, address, record) -> None:
+        self.record_count -= 1
+
+    def on_move(self, old, new, record) -> None:
+        pass
+
+    # -- crash-recovery hooks (plain LH*) ---------------------------------
+
+    def begin_recovery(self, address: int, level: int) -> bool:
+        return False
+
+    def finish_recovery(self, address: int) -> None:
+        pass
+
+    def recovery_group(self, address: int) -> list[int]:
+        return [address]
+
+    def degraded_read_target(self, address: int):
+        return None
+
+    def degraded_dead_set(self, address, dead) -> list[int]:
+        return [address]
+
+    def retire_bucket(self, address: int) -> None:
+        pass
+
+
+class CoordinatorShellFile(ShellFile):
+    """Coordinator-side shell: splits create buckets *remotely*."""
+
+    @property
+    def buckets(self) -> _StubBuckets:
+        return _StubBuckets()
+
+    def create_bucket(self, address: int, level: int,
+                      pending: bool = False) -> None:
+        """The live form of the coordinator's split-side bucket
+        creation: an (unbilled) control message to the hosting site.
+        The data-plane ``split_records`` shipment may still overtake
+        it — the site buffers data for a locally owned, not yet
+        created node until creation lands."""
+        self.server.send_ctrl(("bucket", address), {
+            "ctrl": "create_bucket",
+            "name": self.name,
+            "address": address,
+            "level": level,
+            "pending": pending,
+            "bucket_capacity": self.bucket_capacity,
+            "shrink": self.shrink,
+            "split_policy": self.split_policy,
+            "load_factor_threshold": self.load_factor_threshold,
+            "merge_threshold": self.merge_threshold,
+            "retry_policy": self.retry_policy,
+        })
+
+
+class BucketShellFile(ShellFile):
+    """Bucket-side shell: exposes the hosted bucket for dumps."""
+
+    @property
+    def buckets(self) -> dict[int, Any]:
+        return self.local_buckets
+
+
+# ---------------------------------------------------------------------------
+# the per-process network
+# ---------------------------------------------------------------------------
+
+
+class SiteNetwork:
+    """The ``Network`` surface hosted nodes see inside one process.
+
+    ``send`` bills the local stats at the *declared* size — the same
+    accounting point as the simulator — and hands the message to the
+    server for socket routing.  ``schedule`` arms wall-clock timers
+    with owner-crash freezing."""
+
+    def __init__(self, server: "SiteServer") -> None:
+        self.server = server
+        self.stats = NetworkStats()
+        self.observer: Any | None = None
+        self.nodes: dict[Hashable, Node] = {}
+        self.now = 0.0
+
+    def attach(self, node: Node) -> Node:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        node.network = self
+        self.nodes[node.node_id] = node
+        return node
+
+    def detach(self, node_id: Hashable) -> None:
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        node.network = None
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self.nodes
+
+    def send(self, src, dst, kind, payload=None, size=64,
+             hops=0) -> Message:
+        payload = payload or {}
+        self.stats.record(kind, size)
+        if self.observer is not None:
+            self.observer.on_send(kind, size)
+        self.server.sent += 1
+        message = Message(src=src, dst=dst, kind=kind,
+                          payload=payload, size=size, hops=hops)
+        self.server.route(message)
+        return message
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 owner: Hashable | None = None) -> Timer:
+        return self.server.schedule(delay, callback, owner)
+
+    def is_crashed(self, node_id: Hashable) -> bool:
+        return node_id in self.server.crashed
+
+
+# ---------------------------------------------------------------------------
+# the server process
+# ---------------------------------------------------------------------------
+
+
+class SiteServer:
+    """One cluster process: a bucket site or the coordinator site."""
+
+    def __init__(self, role: str, index: int,
+                 config: ClusterConfig) -> None:
+        if role not in ("bucket", "coordinator"):
+            raise ValueError(f"unknown role {role!r}")
+        self.role = role
+        self.index = index
+        self.config = config
+        self.network = SiteNetwork(self)
+        self.files: dict[str, ShellFile] = {}
+        #: Crashed node ids (delivery-time drops, frozen timers).
+        self.crashed: set[Hashable] = set()
+        self._frozen: dict[Hashable, list[Timer]] = {}
+        #: Data messages buffered for a locally owned node that has
+        #: not been created yet (a split shipment overtaking its
+        #: control-plane ``create_bucket``).
+        self.buffered: dict[Hashable, list[Message]] = {}
+        #: Conservation counters for the client's quiescence census.
+        self.sent = 0
+        self.delivered = 0
+        #: Registered client connections: node id -> StreamWriter.
+        self.clients: dict[Hashable, asyncio.StreamWriter] = {}
+        self._out: dict[tuple, asyncio.Queue] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._armed: set[Timer] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping: asyncio.Event | None = None
+        self.metrics = obs_metrics.MetricsRegistry()
+
+    # -- timers ----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 owner: Hashable | None = None) -> Timer:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        assert self._loop is not None
+        timer = Timer(self._loop.time() + delay, callback, owner=owner)
+        self._armed.add(timer)
+        self._loop.call_later(delay, self._fire, timer)
+        return timer
+
+    def _fire(self, timer: Timer) -> None:
+        self._armed.discard(timer)
+        if timer.cancelled:
+            return
+        if timer.owner is not None and timer.owner in self.crashed:
+            # The owner is down: freeze; restore() re-arms due now.
+            self._frozen.setdefault(timer.owner, []).append(timer)
+            return
+        timer.fired = True
+        try:
+            timer.callback()
+        except Exception:
+            log.exception("timer callback failed")
+
+    def armed_timers(self) -> int:
+        return sum(1 for timer in self._armed if not timer.cancelled)
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, message: Message) -> None:
+        """Ship one locally sent data message toward its host."""
+        dst = message.dst
+        if dst in self.network.nodes or self._locally_owned(dst):
+            # Same-process delivery (possible for tombstone revivals);
+            # defer a tick to keep handle() non-reentrant.
+            assert self._loop is not None
+            self._loop.call_soon(self.deliver, message)
+            return
+        if isinstance(dst, tuple) and dst and dst[0] == "client":
+            writer = self.clients.get(dst)
+            if writer is None:
+                log.error("no registered connection for client %r; "
+                          "message %r dropped", dst, message.kind)
+                self.network.stats.crashed_drops += 1
+                self.delivered += 1  # consumed, keeps census conserved
+                return
+            writer.write(wire.encode_frame(
+                wire.CHANNEL_DATA, wire.message_to_wire(message)))
+            return
+        peer = peer_of(dst)
+        if peer is None or (peer[0] == "bucket"
+                            and peer[1] >= len(self.config.buckets)):
+            log.error("unroutable destination %r for kind %r", dst,
+                      message.kind)
+            self.network.stats.crashed_drops += 1
+            self.delivered += 1
+            return
+        self._peer_queue(peer).put_nowait(wire.encode_frame(
+            wire.CHANNEL_DATA, wire.message_to_wire(message)))
+
+    def send_ctrl(self, peer: tuple, payload: dict) -> None:
+        """Fire-and-forget control message to another site."""
+        self._peer_queue(peer).put_nowait(
+            wire.encode_frame(wire.CHANNEL_CTRL, payload))
+
+    def _peer_queue(self, peer: tuple) -> asyncio.Queue:
+        queue = self._out.get(peer)
+        if queue is None:
+            queue = self._out[peer] = asyncio.Queue()
+            self._tasks.append(asyncio.ensure_future(
+                self._peer_writer(peer, queue)))
+        return queue
+
+    async def _peer_writer(self, peer: tuple,
+                           queue: asyncio.Queue) -> None:
+        """One outbound connection per peer process: dial (with
+        retries while the peer boots), then stream frames in FIFO
+        order — the live transport's per-link TCP ordering."""
+        host, port = self.config.peer_address(peer)
+        writer = None
+        assert self._loop is not None
+        deadline = self._loop.time() + DIAL_TIMEOUT
+        while writer is None:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port)
+            except OSError:
+                if self._loop.time() > deadline:
+                    log.error("cannot reach peer %r at %s:%s",
+                              peer, host, port)
+                    return
+                await asyncio.sleep(DIAL_RETRY_DELAY)
+        # Drain anything the peer writes back (control acks are never
+        # requested on this link, but decode errors should be loud).
+        self._tasks.append(asyncio.ensure_future(
+            self._read_frames(reader, writer)))
+        while True:
+            data = await queue.get()
+            writer.write(data)
+            await writer.drain()
+
+    def _locally_owned(self, node_id: Hashable) -> bool:
+        """Whether this process is the host of ``node_id`` (even if
+        the node has not been created yet)."""
+        if not isinstance(node_id, tuple) or not node_id:
+            return False
+        if self.role == "bucket":
+            return (node_id[0] == "bucket" and len(node_id) == 3
+                    and node_id[2] == self.index)
+        return node_id[0] == "coordinator"
+
+    # -- delivery --------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        dst = message.dst
+        if dst in self.crashed:
+            # The frame crossed the wire and dies at the dead host's
+            # door — billed exactly like the simulator.
+            self.network.stats.crashed_drops += 1
+            if self.network.observer is not None:
+                self.network.observer.on_drop(message.kind,
+                                              message.size)
+            self.delivered += 1
+            return
+        node = self.network.nodes.get(dst)
+        if node is None:
+            if self._locally_owned(dst):
+                self.buffered.setdefault(dst, []).append(message)
+                return
+            log.error("message %r for %r reached the wrong site",
+                      message.kind, dst)
+            self.delivered += 1
+            return
+        self.delivered += 1
+        if self.network.observer is not None:
+            self.network.observer.on_deliver(message.kind,
+                                             message.size, 0.0)
+        try:
+            node.handle(message)
+        except Exception:
+            log.exception("node %r failed handling %r", dst,
+                          message.kind)
+
+    # -- control plane ---------------------------------------------------
+
+    def _shell_file(self, payload: dict) -> ShellFile:
+        name = payload["name"]
+        shell = self.files.get(name)
+        if shell is None:
+            cls = (BucketShellFile if self.role == "bucket"
+                   else CoordinatorShellFile)
+            shell = cls(
+                self, name,
+                bucket_capacity=payload["bucket_capacity"],
+                shrink=payload["shrink"],
+                split_policy=payload["split_policy"],
+                load_factor_threshold=payload[
+                    "load_factor_threshold"],
+                merge_threshold=payload["merge_threshold"],
+                retry_policy=payload["retry_policy"],
+            )
+            self.files[name] = shell
+        return shell
+
+    def handle_ctrl(self, payload: dict,
+                    writer: asyncio.StreamWriter) -> None:
+        ctrl = payload.get("ctrl")
+        token = payload.get("token")
+        try:
+            reply = self._dispatch_ctrl(ctrl, payload, writer)
+        except Exception as exc:
+            log.exception("control %r failed", ctrl)
+            reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if token is not None:
+            reply = dict(reply or {})
+            reply.setdefault("ok", True)
+            reply["ctrl"] = "ack"
+            reply["token"] = token
+            writer.write(wire.encode_frame(wire.CHANNEL_CTRL, reply))
+
+    def _dispatch_ctrl(self, ctrl: str, payload: dict,
+                       writer: asyncio.StreamWriter) -> dict | None:
+        if ctrl == "ping":
+            return {"role": self.role, "index": self.index}
+        if ctrl == "register_client":
+            self.clients[payload["node"]] = writer
+            return {}
+        if ctrl == "create_bucket":
+            return self._ctrl_create_bucket(payload)
+        if ctrl == "create_coordinator":
+            return self._ctrl_create_coordinator(payload)
+        if ctrl == "crash":
+            self.crashed.add(payload["node"])
+            return {}
+        if ctrl == "restore":
+            return self._ctrl_restore(payload["node"])
+        if ctrl == "census":
+            return {
+                "sent": self.sent,
+                "delivered": self.delivered,
+                "buffered": sum(len(q) for q in
+                                self.buffered.values()),
+                "timers": self.armed_timers(),
+                "stats": self.network.stats.snapshot(),
+                "metrics": self.metrics.to_dict(),
+            }
+        if ctrl == "dump":
+            return self._ctrl_dump(payload["name"])
+        if ctrl == "state":
+            return self._ctrl_state(payload["name"])
+        if ctrl == "shutdown":
+            assert self._stopping is not None
+            self._loop.call_soon(self._stopping.set)
+            return {}
+        raise ValueError(f"unknown control message {ctrl!r}")
+
+    def _ctrl_create_bucket(self, payload: dict) -> dict:
+        from repro.sdds.lhstar import LHStarBucket
+
+        if self.role != "bucket":
+            raise ValueError("create_bucket sent to the coordinator")
+        address = payload["address"]
+        if address != self.index:
+            raise ValueError(
+                f"bucket {address} does not live on site {self.index}"
+            )
+        shell = self._shell_file(payload)
+        existing = shell.local_buckets.get(address)
+        if existing is not None:
+            if not existing.retired:
+                raise ValueError(f"bucket {address} already exists")
+            existing.retired = False
+            existing.merge_target = None
+            existing.level = payload["level"]
+            existing.pending = payload["pending"]
+            return {"revived": True}
+        bucket = LHStarBucket(shell, address, payload["level"],
+                              pending=payload["pending"])
+        shell.local_buckets[address] = bucket
+        self.network.attach(bucket)
+        # A split shipment may have overtaken this control message:
+        # deliver anything buffered for the new node, in arrival order.
+        for message in self.buffered.pop(bucket.node_id, []):
+            self.deliver(message)
+        return {}
+
+    def _ctrl_create_coordinator(self, payload: dict) -> dict:
+        from repro.sdds.lhstar import LHStarCoordinator
+
+        if self.role != "coordinator":
+            raise ValueError(
+                "create_coordinator sent to a bucket site")
+        if payload["split_policy"] != "uncontrolled":
+            raise ValueError(
+                "live backend v1 supports split_policy='uncontrolled' "
+                "only (load-factor splitting needs a global record "
+                "count the census does not aggregate)"
+            )
+        if payload["shrink"]:
+            raise ValueError(
+                "live backend v1 does not support file shrinking"
+            )
+        shell = self._shell_file(payload)
+        node_id = shell.coordinator_id
+        if node_id in self.network.nodes:
+            raise ValueError(
+                f"coordinator for file {payload['name']!r} exists")
+        coordinator = LHStarCoordinator(shell)
+        self.network.attach(coordinator)
+        for message in self.buffered.pop(node_id, []):
+            self.deliver(message)
+        return {}
+
+    def _ctrl_restore(self, node_id: Hashable) -> dict:
+        was_crashed = node_id in self.crashed
+        self.crashed.discard(node_id)
+        for timer in self._frozen.pop(node_id, []):
+            if timer.cancelled:
+                continue
+            # Re-arm due immediately: a timeout that "expired" during
+            # the outage fires right after the reboot.
+            self._armed.add(timer)
+            self._loop.call_later(0, self._fire, timer)
+        return {"was_crashed": was_crashed}
+
+    def _ctrl_dump(self, name: str) -> dict:
+        shell = self.files.get(name)
+        buckets = {}
+        if shell is not None:
+            for address, bucket in shell.local_buckets.items():
+                buckets[address] = {
+                    "level": bucket.level,
+                    "retired": bucket.retired,
+                    "pending": bucket.pending,
+                    "records": sorted(bucket.records.values(),
+                                      key=lambda r: r.rid),
+                }
+        return {"buckets": buckets}
+
+    def _ctrl_state(self, name: str) -> dict:
+        node = self.network.nodes.get(("coordinator", name))
+        if node is None:
+            raise ValueError(f"no coordinator for file {name!r}")
+        return {"i": node.i, "n": node.n,
+                "dead": {addr: list(info)
+                         for addr, info in node.dead.items()}}
+
+    # -- connection handling ---------------------------------------------
+
+    async def _read_frames(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        decoder = wire.FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                decoder.feed(data)
+                for channel, value in decoder.frames():
+                    if channel == wire.CHANNEL_DATA:
+                        self.deliver(wire.message_from_wire(value))
+                    else:
+                        self.handle_ctrl(value, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        except wire.WireError:
+            log.exception("undecodable frame; closing connection")
+        finally:
+            stale = [node for node, w in self.clients.items()
+                     if w is writer]
+            for node in stale:
+                del self.clients[node]
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        await self._read_frames(reader, writer)
+        writer.close()
+
+    async def serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        obs_metrics.set_metrics(self.metrics)
+        if self.role == "bucket":
+            port = self.config.buckets[self.index]
+        else:
+            port = self.config.coordinator
+        server = await asyncio.start_server(
+            self._on_connection, self.config.host, port)
+        log.info("%s site %s listening on %s:%s", self.role,
+                 self.index if self.role == "bucket" else "",
+                 self.config.host, port)
+        print("READY", flush=True)
+        async with server:
+            await self._stopping.wait()
+        for task in self._tasks:
+            task.cancel()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="LH* live-transport site server")
+    parser.add_argument("--role", required=True,
+                        choices=("bucket", "coordinator"))
+    parser.add_argument("--index", type=int, default=0,
+                        help="bucket address this site hosts")
+    parser.add_argument("--config", required=True,
+                        help="path to the cluster JSON config")
+    parser.add_argument("--log-level", default="INFO")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=args.log_level,
+        stream=sys.stderr,
+        format=(f"%(asctime)s {args.role}[{args.index}] "
+                "%(levelname)s %(name)s: %(message)s"),
+    )
+    config = ClusterConfig.load(args.config)
+    server = SiteServer(args.role, args.index, config)
+    try:
+        asyncio.run(server.serve())
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":  # pragma: no cover - process entry point
+    main()

@@ -18,9 +18,12 @@ from repro.core import (
 )
 from repro.core.dispersion import Disperser
 from repro.core.kernels import (
+    CODEC_CACHE_ENV,
+    _load_codec_table,
     clear_codec_cache,
     codec_cache_size,
     fused_codec,
+    set_codec_cache_dir,
 )
 from repro.crypto.feistel import FeistelPRP
 from repro.gf import GF2, identity_matrix
@@ -278,3 +281,81 @@ class TestStoreEquivalence:
             reference.network.stats.messages
         )
         assert fast.network.stats.bytes == reference.network.stats.bytes
+
+
+class TestDiskCache:
+    """Persisted codec tables: load ≡ build, damage-tolerant."""
+
+    def setup_method(self):
+        clear_codec_cache()
+
+    def teardown_method(self):
+        set_codec_cache_dir(None)
+        clear_codec_cache()
+
+    def test_off_by_default(self, tmp_path):
+        fused_codec(FeistelPRP(b"key-d", 64), None, 1, 64)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_roundtrip_is_byte_identical(self, tmp_path):
+        set_codec_cache_dir(tmp_path)
+        values = list(range(64)) * 3
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            built = fused_codec(FeistelPRP(b"key-d", 64), None, 1, 64)
+            clear_codec_cache()
+            loaded = fused_codec(FeistelPRP(b"key-d", 64), None, 1, 64)
+        assert built is not loaded
+        assert built.site_streams(values) == loaded.site_streams(values)
+        assert registry.counter("kernels.codec.disk_write").value == 1
+        assert registry.counter("kernels.codec.disk_hit").value == 1
+        assert registry.counter("kernels.codec.disk_miss").value == 1
+        assert registry.histogram(
+            "kernels.codec.build_seconds"
+        ).count == 1  # the load produced no build
+
+    def test_roundtrip_with_dispersal_and_wide_pieces(self, tmp_path):
+        set_codec_cache_dir(tmp_path)
+        for disperser, piece_width, domain in (
+            (Disperser(k=2, piece_bits=4), 1, 256),
+            (Disperser(k=2, piece_bits=8), 2, 1 << 16),
+        ):
+            clear_codec_cache()
+            prp = FeistelPRP(b"key-w", domain)
+            built = fused_codec(prp, disperser, piece_width, domain)
+            clear_codec_cache()
+            loaded = fused_codec(prp, disperser, piece_width, domain)
+            probe = [0, 1, domain - 1, domain // 2]
+            assert built.site_streams(probe) == loaded.site_streams(
+                probe
+            )
+            assert loaded.sites == disperser.k
+
+    def test_distinct_keys_get_distinct_files(self, tmp_path):
+        set_codec_cache_dir(tmp_path)
+        fused_codec(FeistelPRP(b"key-a", 64), None, 1, 64)
+        fused_codec(FeistelPRP(b"key-b", 64), None, 1, 64)
+        assert len(list(tmp_path.glob("codec-v*.bin"))) == 2
+
+    def test_corrupt_file_rebuilds_cleanly(self, tmp_path):
+        set_codec_cache_dir(tmp_path)
+        reference = fused_codec(FeistelPRP(b"key-c", 64), None, 1, 64)
+        streams = reference.site_streams(list(range(64)))
+        (path,) = tmp_path.glob("codec-v*.bin")
+        path.write_bytes(path.read_bytes()[:17])
+        clear_codec_cache()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            rebuilt = fused_codec(
+                FeistelPRP(b"key-c", 64), None, 1, 64
+            )
+        assert rebuilt.site_streams(list(range(64))) == streams
+        assert registry.counter("kernels.codec.disk_miss").value == 1
+        # the rebuild rewrote a healthy file
+        loadable = _load_codec_table(path, 64, 1, 1)
+        assert loadable is not None
+
+    def test_env_var_activates_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CODEC_CACHE_ENV, str(tmp_path))
+        fused_codec(FeistelPRP(b"key-e", 64), None, 1, 64)
+        assert len(list(tmp_path.glob("codec-v*.bin"))) == 1

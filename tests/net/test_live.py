@@ -1,0 +1,302 @@
+"""The live serving tier: real processes, real sockets, same answers.
+
+The acceptance bar for the live backend is *parity*: one put / get /
+search / split episode must produce identical answers **and**
+identical billed wire bytes on the simulator and on the live cluster
+(every message is billed once, at its sender, at its declared size —
+on both backends).  On top of parity, the PR-1 retry and PR-3
+crash-detection semantics must hold over real sockets: crashing a
+bucket process behaves exactly like ``Network.crash`` in the
+simulator, and restoring it reintegrates the bucket.
+
+Cluster-spawning tests are marked ``live`` and skip unless
+``REPRO_LIVE_TESTS=1`` (the CI ``serving`` job sets it); the config
+and routing helpers at the top run everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EncryptedSearchableStore, SchemeParameters
+from repro.errors import BucketUnavailableError
+from repro.net.faults import RetryPolicy
+from repro.net.serve import ClusterConfig, peer_of
+from repro.net.simulator import Network
+
+live = pytest.mark.live
+
+#: Sites for episode tests — comfortably above the highest bucket
+#: address the deterministic episode reaches.
+EPISODE_SITES = 16
+
+TEXTS = {
+    rid: (
+        f"record number {rid} with shared token alpha"
+        if rid % 3 == 0
+        else f"record number {rid} beta"
+    )
+    for rid in range(10)
+}
+
+
+def run_episode(network):
+    """One put/get/search episode that forces splits on both files
+    (bucket_capacity=4 with 10 records and their index streams)."""
+    params = SchemeParameters.full(4)
+    store = EncryptedSearchableStore(
+        params, network=network, bucket_capacity=4, name="ep"
+    )
+    for rid, text in TEXTS.items():
+        store.put(rid, text)
+    fetched = store.get(4)
+    result = store.search("alpha")
+    return fetched, sorted(result.matches), network.stats.snapshot()
+
+
+class TestClusterConfig:
+    def test_roundtrip(self, tmp_path):
+        config = ClusterConfig("127.0.0.1", 9000, [9001, 9002])
+        path = tmp_path / "cluster.json"
+        config.dump(str(path))
+        loaded = ClusterConfig.load(str(path))
+        assert loaded.host == config.host
+        assert loaded.coordinator == config.coordinator
+        assert loaded.buckets == config.buckets
+
+    def test_peer_addresses(self):
+        config = ClusterConfig("127.0.0.1", 9000, [9001, 9002])
+        assert config.peer_address(("coordinator",)) == (
+            "127.0.0.1", 9000
+        )
+        assert config.peer_address(("bucket", 1)) == ("127.0.0.1", 9002)
+
+    def test_peer_of_maps_node_families(self):
+        assert peer_of(("bucket", "f", 3)) == ("bucket", 3)
+        assert peer_of(("coordinator", "f")) == ("coordinator",)
+        assert peer_of(("client", "f", 0)) is None
+        assert peer_of("opaque") is None
+
+
+@pytest.mark.parametrize(
+    "network_backend",
+    ["simulator", pytest.param("live", marks=live)],
+    indirect=True,
+)
+class TestEitherBackend:
+    """The same protocol episodes, runnable on either backend."""
+
+    def test_put_get_search_split(self, network_backend):
+        network = network_backend.make(sites=EPISODE_SITES)
+        fetched, matches, stats = run_episode(network)
+        assert fetched == TEXTS[4]
+        assert matches == [0, 3, 6, 9]
+        # the episode's bucket_capacity=4 forces real splits
+        assert stats.by_kind["split"] > 0
+        assert stats.by_kind["iam"] > 0
+
+    def test_lhstar_facade_ops(self, network_backend):
+        from repro.sdds.lhstar import LHStarFile
+
+        network = network_backend.make(sites=EPISODE_SITES)
+        file = LHStarFile(
+            name="ops", network=network, bucket_capacity=4
+        )
+        for key in range(12):
+            file.insert(key, b"v%d" % key)
+        assert file.lookup(5) == b"v5"
+        assert file.lookup(99) is None
+        assert file.delete(5) is True
+        assert file.lookup(5) is None
+
+    def test_run_concurrent(self, network_backend):
+        from repro.sdds.lhstar import LHStarFile
+
+        network = network_backend.make(sites=EPISODE_SITES)
+        file = LHStarFile(
+            name="conc", network=network, bucket_capacity=4
+        )
+        inserts = [("insert", key, b"c%d" % key) for key in range(10)]
+        file.run_concurrent(inserts, concurrency=3)
+        lookups = [("lookup", key) for key in range(10)]
+        results = file.run_concurrent(lookups, concurrency=3)
+        assert results == [b"c%d" % key for key in range(10)]
+
+
+@live
+class TestWireCostParity:
+    def test_episode_bills_identical_bytes(self, tmp_path):
+        """The ISSUE acceptance criterion: identical answers and
+        identical billed wire bytes on both backends."""
+        from repro.net.live import LiveCluster
+
+        sim_answer = run_episode(Network())
+        with LiveCluster(
+            buckets=EPISODE_SITES, log_dir=tmp_path
+        ) as cluster:
+            live_answer = run_episode(cluster.connect())
+        fetched_s, matches_s, stats_s = sim_answer
+        fetched_l, matches_l, stats_l = live_answer
+        assert fetched_l == fetched_s
+        assert matches_l == matches_s
+        # full stats equality: messages, bytes, per-kind counters,
+        # drop/retry counters — the live wire bills exactly like the
+        # simulated one.
+        assert stats_l == stats_s
+
+
+@live
+class TestCrashSemantics:
+    def test_crash_detection_and_reintegration(self):
+        """PR-1 retries and PR-3 crash detection over real sockets:
+        crash a bucket process's node, watch retries escalate to the
+        coordinator, get a BucketUnavailableError, then restore and
+        observe the bucket serve again."""
+        from repro.net.live import LiveCluster
+
+        policy = RetryPolicy(timeout=0.08, backoff=2.0, max_retries=3)
+        with LiveCluster(buckets=4) as cluster:
+            network = cluster.connect()
+            from repro.sdds.lhstar import LHStarFile
+
+            file = LHStarFile(
+                name="crash", network=network, bucket_capacity=8,
+                retry_policy=policy,
+            )
+            for key in range(6):
+                file.insert(key, b"r%d" % key)
+            dump = network.dump_buckets("crash")
+            target = next(
+                address for address, bucket in dump.items()
+                if any(record.rid == 2
+                       for record in bucket["records"])
+            )
+            network.crash(file.bucket_id(target))
+            assert network.is_crashed(file.bucket_id(target))
+            with pytest.raises(BucketUnavailableError):
+                file.lookup(2)
+            assert network.stats.retries == policy.max_retries
+            assert network.stats.crashed_drops > 0
+            state = network.coordinator_state("crash")
+            assert str(target) in {str(k) for k in state["dead"]} or (
+                target in state["dead"]
+            )
+            assert network.restore(file.bucket_id(target)) is True
+            assert file.lookup(2) == b"r2"
+            state = network.coordinator_state("crash")
+            assert not state["dead"]
+
+    def test_records_survive_crash(self):
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=2) as cluster:
+            network = cluster.connect()
+            file = LHStarFile(
+                name="surv", network=network, bucket_capacity=16,
+                retry_policy=RetryPolicy(timeout=0.05, max_retries=2),
+            )
+            file.insert(1, b"one")
+            network.crash(file.bucket_id(0))
+            with pytest.raises(BucketUnavailableError):
+                file.lookup(1)
+            network.restore(file.bucket_id(0))
+            assert file.lookup(1) == b"one"
+
+
+@live
+class TestScopeGuards:
+    def test_unsupported_configurations_raise(self):
+        from repro.net.live import LiveCluster, LiveUnsupportedError
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=2) as cluster:
+            with pytest.raises(LiveUnsupportedError):
+                LHStarFile(
+                    name="sh", network=cluster.connect(), shrink=True
+                )
+            with pytest.raises(LiveUnsupportedError):
+                LHStarFile(
+                    name="lf", network=cluster.connect(),
+                    split_policy="load_factor",
+                )
+            network = cluster.connect()
+            with pytest.raises(LiveUnsupportedError):
+                network.partition(("bucket", "x", 0),
+                                  ("bucket", "x", 1))
+
+    def test_high_availability_store_is_rejected(self):
+        from repro.net.live import LiveCluster, LiveUnsupportedError
+
+        with LiveCluster(buckets=2) as cluster:
+            with pytest.raises(LiveUnsupportedError):
+                EncryptedSearchableStore(
+                    SchemeParameters.full(4),
+                    network=cluster.connect(),
+                    high_availability=True,
+                    name="ha",
+                )
+
+    def test_cluster_too_small_fails_loudly(self):
+        from repro.net.live import LiveBackendError, LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=1) as cluster:
+            network = cluster.connect(run_timeout=20.0)
+            file = LHStarFile(
+                name="tiny", network=network, bucket_capacity=2,
+                retry_policy=RetryPolicy(timeout=0.05, max_retries=2),
+            )
+            with pytest.raises(LiveBackendError):
+                for key in range(12):
+                    file.insert(key, b"x%d" % key)
+
+
+@live
+class TestCodecCachePersistence:
+    def test_codec_tables_persist_across_cluster_runs(
+        self, tmp_path, monkeypatch
+    ):
+        """Two consecutive cluster episodes against one cache
+        directory: the first run writes the fused tables, the second
+        loads them from disk instead of rebuilding (cold-start win).
+        ``LiveCluster`` exports the same directory to every site
+        process, so server-side codec users share it too."""
+        from repro.core.kernels import (
+            CODEC_CACHE_ENV,
+            clear_codec_cache,
+        )
+        from repro.net.live import LiveCluster
+        from repro.obs.metrics import MetricsRegistry, use_metrics
+
+        cache = tmp_path / "codec-cache"
+        cache.mkdir()
+        monkeypatch.setenv(CODEC_CACHE_ENV, str(cache))
+        # 2-byte chunks: a 16-bit raw domain, inside the fused bound.
+        params = SchemeParameters.full(2)
+
+        def put_some(network):
+            store = EncryptedSearchableStore(
+                params, network=network, bucket_capacity=8,
+                name="cc",
+            )
+            for rid, text in list(TEXTS.items())[:4]:
+                store.put(rid, text)
+            return store.get(0)
+
+        clear_codec_cache()
+        with LiveCluster(buckets=4, codec_cache_dir=cache) as cluster:
+            first = put_some(cluster.connect())
+        files = list(cache.glob("codec-v*.bin"))
+        assert files, "no codec tables were persisted"
+
+        clear_codec_cache()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with LiveCluster(
+                buckets=4, codec_cache_dir=cache
+            ) as cluster:
+                second = put_some(cluster.connect())
+        assert first == second == TEXTS[0]
+        assert registry.counter("kernels.codec.disk_hit").value > 0
+        clear_codec_cache()

@@ -1,0 +1,426 @@
+"""Round-trip tests for the live transport's wire codec.
+
+Every message kind either transport carries must survive
+encode → decode byte-exactly in behaviour: equal payload values,
+preserved dict order (the wire checksum is order-sensitive), and —
+for matcher-bearing scans — a decoded matcher whose verdicts are
+identical to the original's.
+"""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compressed_index import CompressedScanMatcher
+from repro.core.scheme import BatchHitReporter, _BatchHit
+from repro.core.search import (
+    IndexKeyCodec,
+    MultiPlanScanMatcher,
+    PlanScanMatcher,
+    SearchPlan,
+    SiteHit,
+)
+from repro.core.wordsearch import WordScanMatcher
+from repro.crypto.swp import Trapdoor
+from repro.net.faults import RetryPolicy
+from repro.net.simulator import Message, wire_checksum
+from repro.net.stats import NetworkStats
+from repro.net.wire import (
+    CHANNEL_CTRL,
+    CHANNEL_DATA,
+    KNOWN_KINDS,
+    MESSAGE_KINDS,
+    WIRE_VERSION,
+    FrameDecoder,
+    WireDecodeError,
+    WireEncodeError,
+    decode_frame_body,
+    decode_message,
+    decode_value,
+    encode_frame,
+    encode_message,
+    encode_value,
+    kind_table_markdown,
+    protocol_kinds_in_source,
+)
+from repro.sdds.records import Record
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+# -- generic values ----------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 512), max_value=2 ** 512),
+    st.floats(allow_nan=False),
+    st.text(string.printable, max_size=40),
+    st.binary(max_size=60),
+)
+
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(
+                st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+                st.text(string.ascii_letters, max_size=8),
+                st.tuples(st.integers(min_value=0, max_value=99),
+                          st.integers(min_value=0, max_value=99)),
+            ),
+            inner,
+            max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+class TestValueCodec:
+    @given(values)
+    def test_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    @given(values)
+    def test_deterministic(self, value):
+        assert encode_value(value) == encode_value(value)
+
+    def test_dict_order_preserved(self):
+        forward = {"a": 1, "b": 2, "c": 3}
+        backward = {"c": 3, "b": 2, "a": 1}
+        assert list(roundtrip(forward)) == ["a", "b", "c"]
+        assert list(roundtrip(backward)) == ["c", "b", "a"]
+        assert encode_value(forward) != encode_value(backward)
+
+    def test_tuple_list_distinguished(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert roundtrip([1, 2]) == [1, 2]
+        assert isinstance(roundtrip((1, 2)), tuple)
+        assert isinstance(roundtrip([1, 2]), list)
+
+    def test_set_roundtrip(self):
+        assert roundtrip({1, 2, 3}) == {1, 2, 3}
+        assert encode_value({3, 1, 2}) == encode_value({1, 2, 3})
+
+    def test_memoryview_and_bytearray_encode_as_bytes(self):
+        assert roundtrip(bytearray(b"xy")) == b"xy"
+        assert roundtrip(memoryview(b"xy")) == b"xy"
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(WireEncodeError):
+            encode_value(object())
+
+    def test_unencodable_closure_matcher_raises(self):
+        with pytest.raises(WireEncodeError):
+            encode_value(lambda record: None)
+
+    def test_truncated_rejected(self):
+        data = encode_value({"key": 7, "content": b"abcdef"})
+        for cut in range(1, len(data)):
+            with pytest.raises(WireDecodeError):
+                decode_value(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(WireDecodeError):
+            decode_value(encode_value(1) + b"x")
+
+
+# -- typed protocol objects --------------------------------------------------
+
+
+def sample_plan():
+    return SearchPlan(
+        pattern=b"NEEDLE",
+        needles={(0, 0): (b"\x01\x02", b"\x03\x04"),
+                 (0, 1): (b"\x01", b"\x03"),
+                 (1, 0): (b"\x05\x06", b"\x07\x08"),
+                 (1, 1): (b"\x05", b"\x06")},
+        piece_width=1,
+        sites=2,
+        group_count=2,
+        alignments=(0, 1),
+        required_groups=2,
+    )
+
+
+class TestTypedObjects:
+    def test_record(self):
+        record = Record(rid=9, content=b"\x00\x01payload")
+        back = roundtrip(record)
+        assert back == record
+        assert back.wire_size == record.wire_size
+
+    def test_site_hit(self):
+        hit = SiteHit(rid=4, group=1, site=0,
+                      positions={0: [1, 5], 2: [3]})
+        back = roundtrip(hit)
+        assert back == hit
+        assert back.wire_size == hit.wire_size
+
+    def test_batch_hit(self):
+        hit = _BatchHit(index=2,
+                        hit=SiteHit(rid=1, group=0, site=1,
+                                    positions={0: [0]}),
+                        tagged=True)
+        back = roundtrip(hit)
+        assert back == hit
+        assert back.wire_size == hit.wire_size
+
+    def test_index_key_codec(self):
+        codec = IndexKeyCodec(site_bits=2, group_bits=3)
+        back = roundtrip(codec)
+        assert back == codec
+        assert back((5 << 5) | (6 << 2) | 1) == (5, 6, 1)
+
+    def test_search_plan(self):
+        plan = sample_plan()
+        back = roundtrip(plan)
+        assert back == plan
+        assert back.request_size() == plan.request_size()
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_plan_scan_matcher(self, batched):
+        codec = IndexKeyCodec(site_bits=1, group_bits=1)
+        matcher = PlanScanMatcher(sample_plan(), codec,
+                                  batched=batched)
+        back = roundtrip(matcher)
+        assert back.plan == matcher.plan
+        assert back.decode == codec
+        assert (back.match_bucket is None) == (not batched)
+        record = Record(rid=(7 << 2) | (0 << 1) | 0,
+                        content=b"\x01\x02")
+        assert back(record) == matcher(record)
+
+    @pytest.mark.parametrize("tagged", [True, False])
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_multi_plan_scan_matcher(self, tagged, batched):
+        codec = IndexKeyCodec(site_bits=1, group_bits=1)
+        plans = [sample_plan()] * (2 if tagged else 1)
+        matcher = MultiPlanScanMatcher(
+            plans, codec, BatchHitReporter(tagged=tagged),
+            batched=batched,
+        )
+        back = roundtrip(matcher)
+        assert back.plans == plans
+        assert back.report == BatchHitReporter(tagged=tagged)
+        assert (back.match_bucket is None) == (not batched)
+        record = Record(rid=(3 << 2) | 0, content=b"\x01\x02")
+        assert back(record) == matcher(record)
+
+    def test_matcher_with_foreign_decode_refuses(self):
+        matcher = PlanScanMatcher(sample_plan(), lambda key: (key, 0, 0))
+        with pytest.raises(WireEncodeError):
+            encode_value(matcher)
+
+    def test_trapdoor_and_word_matcher(self):
+        trapdoor = Trapdoor(pre_encrypted=b"X" * 20,
+                            word_key=b"k" * 20)
+        assert roundtrip(trapdoor) == trapdoor
+        for fast_path in (True, False):
+            matcher = WordScanMatcher(trapdoor, fast_path=fast_path)
+            back = roundtrip(matcher)
+            assert back.trapdoor == trapdoor
+            assert back.fast_path == fast_path
+            assert (back.match_bucket is None) == (not fast_path)
+
+    def test_compressed_matcher(self):
+        for batched in (True, False):
+            matcher = CompressedScanMatcher((b"ab", b"cd"),
+                                            batched=batched)
+            back = roundtrip(matcher)
+            assert back.needles == (b"ab", b"cd")
+            assert (back.match_bucket is None) == (not batched)
+            assert back(Record(rid=1, content=b"xxabxx")) == 1
+            assert back(Record(rid=1, content=b"zz")) is None
+
+    def test_retry_policy(self):
+        policy = RetryPolicy(timeout=1.5, backoff=3.0, max_retries=4,
+                             jitter=0.0, seed=7)
+        back = roundtrip(policy)
+        assert back == policy
+        assert back.delay(2) == policy.delay(2)
+
+    def test_network_stats(self):
+        stats = NetworkStats()
+        stats.record("lookup", 64)
+        stats.record("reply", 96)
+        stats.retries = 3
+        stats.crashed_drops = 1
+        back = roundtrip(stats)
+        assert back == stats
+        assert back.diff(NetworkStats()).messages == 2
+
+
+# -- whole messages, one per protocol kind -----------------------------------
+
+CLIENT = ("client", "F", 0)
+BUCKET = ("bucket", "F", 1)
+COORD = ("coordinator", "F")
+PARITY = ("parity", "F", 0, 0)
+
+
+def payload_for(kind: str):
+    """A representative payload for each protocol kind."""
+    matcher = PlanScanMatcher(
+        sample_plan(), IndexKeyCodec(site_bits=1, group_bits=1)
+    )
+    hit = SiteHit(rid=3, group=0, site=1, positions={0: [2]})
+    records = [Record(rid=1, content=b"a"), Record(rid=2, content=b"bb")]
+    return {
+        "insert": {"key": 7, "op": 1, "client": CLIENT,
+                   "content": b"value"},
+        "lookup": {"key": 7, "op": 2, "client": CLIENT},
+        "delete": {"key": 7, "op": 3, "client": CLIENT},
+        "reply": {"op": 2, "ok": True, "content": b"value"},
+        "iam": {"address": 3, "level": 2},
+        "scan": {"op": 4, "client": CLIENT, "matcher": matcher,
+                 "level": 1},
+        "scan_reply": {"op": 4, "address": 1, "level": 2,
+                       "hits": [hit], "forwarded": [(3, 2)]},
+        "overflow": {"address": 0},
+        "underflow": {"address": 1},
+        "split": {"new_address": 2, "new_level": 2},
+        "split_records": {"records": records},
+        "merge": {"target": 0, "level": 1},
+        "merge_records": {"records": records, "level": 1},
+        "probe": {"address": 1},
+        "probe_ack": {"address": 1},
+        "suspect": {"address": 1, "client": CLIENT},
+        "await_recovery": {"address": 1, "client": CLIENT},
+        "bucket_down": {"address": 1,
+                        "group_dead": {1: [1, True]}},
+        "bucket_up": {"address": 1},
+        "bucket_recovered": {"address": 1},
+        "recover": {"address": 1, "dead": [1]},
+        "recover_install": {"records": records},
+        "recover_done": {"address": 1},
+        "group_fetch": {"gather": 5, "offset": 0,
+                        "entries": {0: 11, 1: 12}},
+        "group_data": {"gather": 5, "offset": 0,
+                       "entries": {0: b"abc", 1: b""}},
+        "parity_fetch": {"gather": 5, "ranks": [0, 1]},
+        "parity_data": {"gather": 5, "index": 1,
+                        "payloads": {0: b"xyz"}},
+        "parity_delta": {"rank": 0, "offset": 1, "rid": 9,
+                         "delta": b"\x0f\xf0", "length": 2},
+        "degraded_lookup": {"op": 6, "client": CLIENT, "key": 7,
+                            "address": 1, "dead": [1]},
+        "degraded_scan": {"op": 7, "client": CLIENT,
+                          "matcher": matcher, "address": 1,
+                          "level": 2, "dead": [1]},
+    }[kind]
+
+
+class TestMessageCodec:
+    @pytest.mark.parametrize(
+        "kind", sorted(KNOWN_KINDS),
+        ids=sorted(KNOWN_KINDS),
+    )
+    def test_every_kind_roundtrips(self, kind):
+        payload = payload_for(kind)
+        message = Message(src=CLIENT, dst=BUCKET, kind=kind,
+                          payload=payload, size=96, hops=1,
+                          checksum=wire_checksum(kind, payload, 96))
+        back = decode_message(encode_message(message))
+        assert back.src == message.src
+        assert back.dst == message.dst
+        assert back.kind == kind
+        assert back.size == message.size
+        assert back.hops == message.hops
+        assert back.checksum == message.checksum
+        # Matchers compare by behaviour, not equality; check the rest
+        # of the payload by re-computing the order-sensitive checksum.
+        assert wire_checksum(kind, back.payload, back.size) \
+            == message.checksum
+
+    def test_scan_matcher_behaviour_survives(self):
+        message = Message(src=CLIENT, dst=BUCKET, kind="scan",
+                          payload=payload_for("scan"), size=64)
+        back = decode_message(encode_message(message))
+        matcher = back.payload["matcher"]
+        original = message.payload["matcher"]
+        record = Record(rid=(3 << 2) | 0, content=b"\x01\x02")
+        assert matcher(record) == original(record)
+
+
+# -- framing -----------------------------------------------------------------
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        for channel in (CHANNEL_DATA, CHANNEL_CTRL):
+            frame = encode_frame(channel, {"ctrl": "ping", "n": 1})
+            assert decode_frame_body(frame[4:]) \
+                == (channel, {"ctrl": "ping", "n": 1})
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(encode_frame(CHANNEL_DATA, 1))
+        frame[4] = WIRE_VERSION + 1
+        with pytest.raises(WireDecodeError):
+            decode_frame_body(bytes(frame)[4:])
+
+    def test_bad_channel_rejected(self):
+        frame = bytearray(encode_frame(CHANNEL_DATA, 1))
+        frame[5] = 9
+        with pytest.raises(WireDecodeError):
+            decode_frame_body(bytes(frame)[4:])
+        with pytest.raises(WireEncodeError):
+            encode_frame(9, 1)
+
+    def test_decoder_reassembles_byte_by_byte(self):
+        frames = [encode_frame(CHANNEL_CTRL, {"seq": i})
+                  for i in range(3)]
+        stream = b"".join(frames)
+        decoder = FrameDecoder()
+        seen = []
+        for offset in range(len(stream)):
+            decoder.feed(stream[offset:offset + 1])
+            seen.extend(decoder.frames())
+        assert seen == [(CHANNEL_CTRL, {"seq": i}) for i in range(3)]
+
+    def test_decoder_handles_coalesced_reads(self):
+        frames = b"".join(
+            encode_frame(CHANNEL_DATA, [i, b"x" * i]) for i in range(5)
+        )
+        decoder = FrameDecoder()
+        decoder.feed(frames)
+        assert len(list(decoder.frames())) == 5
+
+    def test_oversized_length_rejected(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\xff\xff\xff\xff")
+        with pytest.raises(WireDecodeError):
+            list(decoder.frames())
+
+
+# -- the normative kind registry ---------------------------------------------
+
+
+class TestKindRegistry:
+    def test_registry_matches_source(self):
+        assert protocol_kinds_in_source() == KNOWN_KINDS
+
+    def test_no_duplicate_kinds(self):
+        kinds = [spec.kind for spec in MESSAGE_KINDS]
+        assert len(kinds) == len(set(kinds))
+
+    def test_table_lists_every_kind(self):
+        table = kind_table_markdown()
+        for spec in MESSAGE_KINDS:
+            assert f"`{spec.kind}`" in table
+
+    def test_payload_fixtures_cover_spec_fields(self):
+        # The representative payloads above must carry exactly the
+        # fields §11 declares (modulo the reply's optional fields).
+        for spec in MESSAGE_KINDS:
+            if spec.kind == "reply":
+                continue
+            declared = {name.rstrip("?") for name in spec.payload}
+            assert set(payload_for(spec.kind)) == declared, spec.kind

@@ -1,5 +1,6 @@
 """The README's code examples must actually run."""
 
+import os
 import pathlib
 import re
 
@@ -11,11 +12,20 @@ _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
 def test_readme_blocks_execute():
-    """Blocks build on each other, so run them cumulatively."""
+    """Blocks build on each other, so run them cumulatively.
+
+    Blocks that spawn the live serving tier (``LiveCluster``) follow
+    the same opt-in rule as the ``live``-marked tests: they execute
+    only under ``REPRO_LIVE_TESTS=1`` so the default run stays
+    hermetic.
+    """
+    run_live = os.environ.get("REPRO_LIVE_TESTS") == "1"
     blocks = _BLOCK_RE.findall(README.read_text())
     assert blocks, "README lost its python examples"
     namespace: dict = {}
     for index, block in enumerate(blocks):
+        if "LiveCluster" in block and not run_live:
+            continue
         exec(  # noqa: S102 - executing our own documentation
             compile(block, f"{README}#block{index}", "exec"), namespace
         )
