@@ -106,6 +106,75 @@ def exp_chaos_sweep() -> TableResult:
     return table
 
 
+LIVE_SEEDS = [0, 1]
+
+#: Wall-clock-compressed storm for the live rows: same axes, short
+#: windows (the live cluster runs in real time).
+LIVE_PROFILE = NemesisProfile(
+    loss_rate=0.1, loss_windows=1,
+    duplication_rate=0.1, duplication_windows=1,
+    corruption_rate=0.1, corruption_windows=1,
+    latency_extra=0.005, latency_windows=1,
+    partition_windows=1, crash_windows=1,
+    window=0.4, horizon=2.5,
+)
+
+
+def exp_live_availability() -> TableResult:
+    """Backend parity rows: the same seeded episode on the event
+    simulator and on a live cluster of site processes."""
+    table = TableResult(
+        title="Chaos backend parity: identically seeded episodes on "
+              "the simulator and on live site processes",
+        headers=["seed", "backend", "availability", "msgs/episode",
+                 "retries", "crashes", "acked==sim", "searches==sim",
+                 "violations"],
+    )
+    for seed in LIVE_SEEDS:
+        baseline = None
+        for backend in ("simulator", "live"):
+            config = EpisodeConfig(
+                records=8, ops=20, profile=LIVE_PROFILE,
+                backend=backend,
+            )
+            report = run_episode(seed, config=config)
+            if backend == "simulator":
+                baseline = report
+            table.add_row(
+                seed, backend,
+                f"{report.ops_applied / config.ops:.1%}",
+                report.stats["messages"],
+                report.stats["retries"],
+                report.nemesis["crashes"],
+                "yes" if report.acked == baseline.acked else "NO",
+                ("yes" if report.searches == baseline.searches
+                 else "NO"),
+                len(report.violations),
+            )
+    table.notes.append(
+        "The live rows drive the same seeded workload and nemesis "
+        "schedule through real bucket processes over TCP; acked sets "
+        "and post-heal search answers must match the simulator rows "
+        "seed for seed."
+    )
+    return table
+
+
+def test_chaos_live_availability(benchmark, emit):
+    import os
+
+    import pytest
+
+    if os.environ.get("REPRO_LIVE_TESTS") != "1":
+        pytest.skip("live cluster benches need REPRO_LIVE_TESTS=1")
+    table = benchmark.pedantic(exp_live_availability, rounds=1,
+                               iterations=1)
+    emit(table, "chaos_live_availability")
+    for row in table.rows:
+        assert row[-1] == "0", row
+        assert row[-2] == "yes" and row[-3] == "yes", row
+
+
 def test_chaos_sweep(benchmark, emit):
     table = benchmark.pedantic(exp_chaos_sweep, rounds=1,
                                iterations=1)

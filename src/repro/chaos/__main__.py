@@ -55,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "duplication, partitions, or crashes)")
     parser.add_argument("--max-shrink-evals", type=int, default=120,
                         help="replay budget for the shrinker")
+    parser.add_argument("--backend", choices=("simulator", "live"),
+                        default="simulator",
+                        help="run episodes on the event simulator "
+                             "(default) or against a live cluster of "
+                             "site processes")
+    parser.add_argument("--live-sites", type=int, default=12,
+                        help="initial site-process count for "
+                             "--backend live (splits spawn more)")
     return parser
 
 
@@ -70,8 +78,17 @@ def make_config(args: argparse.Namespace) -> EpisodeConfig:
             crash_windows=0,
             corruption_rate=0.3, corruption_windows=4,
         )
+    if args.backend == "live":
+        # Wall-clock horizons: the live cluster runs in real time, so
+        # the default 40-simulated-second schedule would take 40 real
+        # seconds per episode.  Compress the windows instead.
+        profile = replace(
+            profile, window=min(profile.window, 0.4),
+            horizon=min(profile.horizon, 3.0),
+        )
     return EpisodeConfig(
-        records=args.records, ops=args.ops, profile=profile
+        records=args.records, ops=args.ops, profile=profile,
+        backend=args.backend, live_sites=args.live_sites,
     )
 
 

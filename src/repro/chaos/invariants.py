@@ -113,10 +113,10 @@ def check_scan_coverage(
     caller as a scan-coverage violation); this checks the scan's
     *content* against the acked model.
     """
+    from repro.sdds.lhstar import RidScanMatcher
+
     try:
-        scanned = set(
-            store.record_file.scan(lambda record: record.rid)
-        )
+        scanned = set(store.record_file.scan(RidScanMatcher()))
     except SDDSError as error:
         return [Violation(
             "scan-coverage", f"record scan failed after heal: {error}"
@@ -197,10 +197,106 @@ def check_parity_consistency(file: Any) -> list[Violation]:
 
 def check_heal_convergence(file: Any) -> list[Violation]:
     """After quiesce + probe rounds no bucket may stay declared dead."""
-    dead = sorted(file.coordinator.dead)
-    if not dead:
+    return check_heal_convergence_dead(
+        file.name, file.coordinator.dead
+    )
+
+
+def check_heal_convergence_dead(
+    name: str, dead: dict[int, Any] | set[int]
+) -> list[Violation]:
+    """Backend-agnostic core of :func:`check_heal_convergence`: the
+    live runner feeds the coordinator's ``dead`` map fetched over the
+    control plane instead of reading the node object directly."""
+    remaining = sorted(dead)
+    if not remaining:
         return []
     return [Violation(
         "heal-convergence",
-        f"{file.name} still has dead buckets {dead} after heal",
+        f"{name} still has dead buckets {remaining} after heal",
     )]
+
+
+def check_parity_consistency_live(
+    network: Any, file: Any
+) -> list[Violation]:
+    """Live-backend parity oracle: recompute every parity slot.
+
+    The simulator oracle calls ``verify_recovery`` on in-process
+    nodes; on the live backend buckets and parity live in other
+    processes, so this instead pulls the raw state over the control
+    plane (``dump``/``dump_parity``) and checks the parity algebra
+    client-side: every live record must hold a rank in the group's
+    parity tables, and every slot payload must equal the
+    generator-weighted XOR of its contributors' current contents.
+    """
+    if not hasattr(file, "parity_count"):
+        return []
+    from repro.sdds.lhstar_rs import _scale, _xor, generator_matrix
+
+    group_size = file.group_size
+    generator = generator_matrix(group_size, file.parity_count)
+    buckets = network.dump_buckets(file.name)
+    slots = network.dump_parity(file.name)
+    violations: list[Violation] = []
+    live = {
+        address: info for address, info in buckets.items()
+        if not info["retired"] and not info["pending"]
+    }
+    for group in sorted({address // group_size for address in live}):
+        base = group * group_size
+        contents: dict[int, dict[int, bytes]] = {}
+        for offset in range(group_size):
+            info = live.get(base + offset)
+            if info is not None:
+                contents[offset] = {
+                    record.rid: record.content
+                    for record in info["records"]
+                }
+        # Coverage: every live record owes a parity contribution.
+        covered: dict[int, set[int]] = {
+            offset: set() for offset in range(group_size)
+        }
+        for slot in (slots.get((group, 0)) or {}).values():
+            for offset, rid in enumerate(slot["rids"]):
+                if rid is not None:
+                    covered[offset].add(rid)
+        for offset, table in contents.items():
+            missing = set(table) - covered[offset]
+            if missing:
+                violations.append(Violation(
+                    "parity-consistency",
+                    f"{file.name} bucket {base + offset}: rids "
+                    f"{sorted(missing)} have no parity contribution",
+                ))
+        # Algebra: each slot payload reconstructs from the dumps.
+        for index in range(file.parity_count):
+            for rank, slot in (slots.get((group, index)) or {}).items():
+                expected = b""
+                broken = False
+                for offset, rid in enumerate(slot["rids"]):
+                    if rid is None:
+                        continue
+                    content = contents.get(offset, {}).get(rid)
+                    if content is None:
+                        violations.append(Violation(
+                            "parity-consistency",
+                            f"{file.name} parity ({group},{index}) "
+                            f"rank {rank}: contributor rid {rid} not "
+                            f"held by bucket {base + offset}",
+                        ))
+                        broken = True
+                        break
+                    expected = _xor(expected, _scale(
+                        generator.rows[index][offset], content
+                    ))
+                if broken:
+                    continue
+                if (expected.rstrip(b"\x00")
+                        != slot["payload"].rstrip(b"\x00")):
+                    violations.append(Violation(
+                        "parity-consistency",
+                        f"{file.name} parity ({group},{index}) rank "
+                        f"{rank} does not match its group contents",
+                    ))
+    return violations

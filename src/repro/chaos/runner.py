@@ -39,8 +39,9 @@ from repro.chaos.invariants import (
     LevelMonitor,
     Violation,
     check_durability,
-    check_heal_convergence,
+    check_heal_convergence_dead,
     check_parity_consistency,
+    check_parity_consistency_live,
     check_scan_coverage,
     check_search_agreement,
 )
@@ -105,6 +106,16 @@ class EpisodeConfig:
     retry_jitter: float = 0.5
     fast_path: bool = True
     profile: NemesisProfile = field(default_factory=NemesisProfile)
+    #: ``"simulator"`` (default) or ``"live"`` — the live backend
+    #: drives the identical seeded workload and nemesis schedule
+    #: through a :class:`~repro.net.live.LiveCluster` of real site
+    #: processes; the fault-free twin stays a simulator either way.
+    backend: str = "simulator"
+    #: Initial site-process count for ``backend="live"`` (splits past
+    #: it spawn more on demand).
+    live_sites: int = 12
+    #: Quiescence deadline per ``run()`` call on the live backend.
+    live_run_timeout: float = 30.0
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -124,6 +135,12 @@ class EpisodeReport:
     ops_failed: int
     uncertain: list[int]
     elapsed: float
+    #: Acked rid set after the episode (model minus uncertain) and the
+    #: final post-heal search answers per pattern — the cross-backend
+    #: comparison surface: the same seed and config must produce the
+    #: same values on the simulator and the live cluster.
+    acked: list[int] = field(default_factory=list)
+    searches: dict[str, list[int]] = field(default_factory=dict)
     spans: list[Span] = field(default_factory=list)
 
     @property
@@ -142,6 +159,8 @@ class EpisodeReport:
             "ops_failed": self.ops_failed,
             "uncertain": self.uncertain,
             "elapsed": self.elapsed,
+            "acked": self.acked,
+            "searches": self.searches,
             "violations": [v.to_dict() for v in self.violations],
         }
 
@@ -179,8 +198,106 @@ def _build_store(
     )
 
 
+class _SimulatorBackend:
+    """Oracle/introspection surface of a simulator episode.
+
+    The traced runner only touches the network through this facade
+    wherever simulator and live clusters genuinely differ: reading
+    coordinator state, gating nemesis crashes, and checking parity
+    consistency.  Everything else (the client API, the nemesis, the
+    stats) is already backend-agnostic.
+    """
+
+    def refresh(self, store: EncryptedSearchableStore) -> None:
+        pass  # node objects are in-process; nothing to fetch
+
+    def state(self, file: Any) -> tuple[int, int]:
+        return file.state
+
+    def dead(self, file: Any) -> dict[int, Any]:
+        return dict(file.coordinator.dead)
+
+    def make_gate(self, store: EncryptedSearchableStore,
+                  config: EpisodeConfig):
+        gates = (store.record_file.crash_gate(),
+                 store.index_file.crash_gate())
+        return lambda node_id: any(gate(node_id) for gate in gates)
+
+    def parity_violations(self, file: Any) -> list[Violation]:
+        return check_parity_consistency(file)
+
+
+class _LiveBackend:
+    """The same surface over a :class:`~repro.net.live.LiveNetwork`.
+
+    Coordinator state comes from unbilled control-plane roundtrips;
+    the crash gate works from the state snapshot cached by the last
+    ``refresh``/``state`` call (a gate runs inside ``network.run`` and
+    must not start nested roundtrips); parity consistency recomputes
+    the parity algebra client-side from ``dump``/``dump_parity``.
+    """
+
+    def __init__(self, network: Any) -> None:
+        self.network = network
+        self._states: dict[str, dict] = {}
+
+    def refresh(self, store: EncryptedSearchableStore) -> None:
+        for file in (store.record_file, store.index_file):
+            self._states[file.name] = (
+                self.network.coordinator_state(file.name)
+            )
+
+    def state(self, file: Any) -> tuple[int, int]:
+        snap = self.network.coordinator_state(file.name)
+        self._states[file.name] = snap
+        return (snap["i"], snap["n"])
+
+    def dead(self, file: Any) -> dict[int, Any]:
+        snap = self.network.coordinator_state(file.name)
+        self._states[file.name] = snap
+        return {int(address): info
+                for address, info in (snap.get("dead") or {}).items()}
+
+    def make_gate(self, store: EncryptedSearchableStore,
+                  config: EpisodeConfig):
+        group_size = config.group_size
+        parity_count = config.parity_count
+        names = {store.record_file.name, store.index_file.name}
+        network = self.network
+        states = self._states
+
+        def gate(node_id: Any) -> bool:
+            if not (isinstance(node_id, tuple) and len(node_id) == 3
+                    and node_id[0] == "bucket"
+                    and node_id[1] in names):
+                return False
+            name, address = node_id[1], node_id[2]
+            snap = states.get(name)
+            if snap is None:
+                return False
+            if address >= (1 << snap["i"]) + snap["n"]:
+                return False  # never created
+            dead = {int(a) for a in (snap.get("dead") or {})}
+            if address in dead:
+                return False  # mid-recovery: an independent failure
+            base = (address // group_size) * group_size
+            down = sum(
+                1 for member in range(base, base + group_size)
+                if member != address and (
+                    member in dead
+                    or network.is_crashed(("bucket", name, member))
+                )
+            )
+            return down + 1 <= parity_count
+
+        return gate
+
+    def parity_violations(self, file: Any) -> list[Violation]:
+        return check_parity_consistency_live(self.network, file)
+
+
 def _converge(store: EncryptedSearchableStore, network: Network,
-              rounds: int = 6) -> None:
+              backend: Any, rounds: int = 6) -> None:
     """Probe-drive the coordinators until no bucket stays dead.
 
     After the nemesis quiesces, every node is up again but a
@@ -195,7 +312,7 @@ def _converge(store: EncryptedSearchableStore, network: Network,
         dead = [
             (file, address)
             for file in files
-            for address in sorted(file.coordinator.dead)
+            for address in sorted(backend.dead(file))
         ]
         if not dead:
             return
@@ -221,13 +338,13 @@ def run_episode(
     workload itself is still derived from ``seed`` either way.
     """
     config = config or EpisodeConfig()
-    policy = RetryPolicy(
-        timeout=config.retry_timeout,
-        backoff=config.retry_backoff,
-        max_retries=config.retry_max,
-        jitter=config.retry_jitter,
-        seed=seed,
-    )
+    if config.backend == "live":
+        return _run_live_episode(seed, config, events)
+    if config.backend != "simulator":
+        raise ValueError(
+            f"unknown episode backend {config.backend!r}"
+        )
+    policy = _episode_policy(seed, config)
     chaos_net = Network(
         latency=JitterLatencyModel(seed=seed * 2 + 1, jitter=0.002),
         faults=FaultModel(seed=seed * 2 + 2),
@@ -238,10 +355,52 @@ def run_episode(
     tracer = Tracer(network=chaos_net, capacity=65536)
     with use_tracer(tracer):
         report = _run_episode_traced(
-            seed, config, events, chaos, twin, chaos_net
+            seed, config, events, chaos, twin, chaos_net,
+            _SimulatorBackend(),
         )
     report.spans = list(tracer.finished)
     return report
+
+
+def _episode_policy(seed: int, config: EpisodeConfig) -> RetryPolicy:
+    return RetryPolicy(
+        timeout=config.retry_timeout,
+        backoff=config.retry_backoff,
+        max_retries=config.retry_max,
+        jitter=config.retry_jitter,
+        seed=seed,
+    )
+
+
+def _run_live_episode(
+    seed: int,
+    config: EpisodeConfig,
+    events: list[FaultEvent] | None,
+) -> EpisodeReport:
+    """One chaos episode against real site processes.
+
+    Identical seeded workload and nemesis schedule as the simulator
+    path — the fault-free twin stays a simulator, so the acked-set
+    and search-answer comparison crosses the backend boundary.
+    """
+    from repro.net.live import LiveCluster
+
+    policy = _episode_policy(seed, config)
+    with LiveCluster(buckets=config.live_sites) as cluster:
+        network = cluster.connect(
+            run_timeout=config.live_run_timeout
+        )
+        network.enable_faults(seed=seed * 2 + 2)
+        chaos = _build_store(config, network, policy)
+        twin = _build_store(config, Network(), RetryPolicy())
+        tracer = Tracer(network=network, capacity=65536)
+        with use_tracer(tracer):
+            report = _run_episode_traced(
+                seed, config, events, chaos, twin, network,
+                _LiveBackend(network),
+            )
+        report.spans = list(tracer.finished)
+        return report
 
 
 def _run_episode_traced(
@@ -251,6 +410,7 @@ def _run_episode_traced(
     chaos: EncryptedSearchableStore,
     twin: EncryptedSearchableStore,
     chaos_net: Network,
+    backend: Any,
 ) -> EpisodeReport:
     violations: list[Violation] = []
     model: dict[int, str] = {}
@@ -291,9 +451,8 @@ def _run_episode_traced(
         )
 
     nemesis = Nemesis(events)
-    gates = (chaos.record_file.crash_gate(),
-             chaos.index_file.crash_gate())
-    nemesis.gate = lambda node_id: any(g(node_id) for g in gates)
+    backend.refresh(chaos)
+    nemesis.gate = backend.make_gate(chaos, config)
     nemesis.attach(chaos_net)
 
     monitors = (
@@ -360,19 +519,22 @@ def _run_episode_traced(
         for monitor, file in zip(
             monitors, (chaos.record_file, chaos.index_file)
         ):
-            monitor.observe(file.state, deleted)
+            monitor.observe(backend.state(file), deleted)
 
     # 3. Heal and settle.
     nemesis.quiesce(chaos_net)
     chaos_net.run()
-    _converge(chaos, chaos_net)
+    _converge(chaos, chaos_net, backend)
 
     # 4. The oracle battery.
     for monitor in monitors:
         violations.extend(monitor.violations)
-    violations.extend(check_heal_convergence(chaos.record_file))
-    violations.extend(check_heal_convergence(chaos.index_file))
+    for file in (chaos.record_file, chaos.index_file):
+        violations.extend(check_heal_convergence_dead(
+            file.name, backend.dead(file)
+        ))
     violations.extend(check_durability(chaos, model, uncertain))
+    searches: dict[str, list[int]] = {}
     for pattern in PATTERNS:
         try:
             result = chaos.search(pattern)
@@ -383,12 +545,13 @@ def _run_episode_traced(
                 f"{error}",
             ))
             continue
+        searches[pattern] = sorted(set(result.matches) - uncertain)
         violations.extend(check_search_agreement(
             pattern, result, twin.search(pattern), uncertain
         ))
     violations.extend(check_scan_coverage(chaos, model, uncertain))
-    violations.extend(check_parity_consistency(chaos.record_file))
-    violations.extend(check_parity_consistency(chaos.index_file))
+    violations.extend(backend.parity_violations(chaos.record_file))
+    violations.extend(backend.parity_violations(chaos.index_file))
 
     stats = chaos_net.stats
     return EpisodeReport(
@@ -411,4 +574,6 @@ def _run_episode_traced(
         ops_failed=ops_failed,
         uncertain=sorted(uncertain),
         elapsed=chaos_net.now,
+        acked=sorted(set(model) - uncertain),
+        searches=searches,
     )

@@ -39,7 +39,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
-from repro.errors import SDDSError
+from repro.errors import SDDSError, UnknownNodeError
 from repro.net.simulator import LatencyModel, Network
 
 #: Message kinds exempt from injected faults by default: structural
@@ -347,15 +347,21 @@ class CrashFaultModel:
                 self._apply_restore(network, node_id)
 
     def _apply_crash(self, network: Network, node_id: Hashable) -> None:
-        if (
-            node_id not in network.nodes
-            or network.is_crashed(node_id)
-            or (self.gate is not None and not self.gate(node_id))
+        if network.is_crashed(node_id) or (
+            self.gate is not None and not self.gate(node_id)
         ):
             self.skipped += 1
             self._suppressed.add(node_id)
             return
-        network.crash(node_id)
+        try:
+            # Membership is the network's call: the simulator checks
+            # its ``nodes`` dict, the live backend asks the hosting
+            # site — both raise UnknownNodeError for a bad target.
+            network.crash(node_id)
+        except UnknownNodeError:
+            self.skipped += 1
+            self._suppressed.add(node_id)
+            return
         self.crashes += 1
         # Imported lazily: obs.trace imports the net package, so a
         # top-level import here would cycle during package init.
@@ -370,7 +376,11 @@ class CrashFaultModel:
             # The matching crash never happened; swallow the restore.
             self._suppressed.discard(node_id)
             return
-        if network.restore(node_id):
+        try:
+            restored = network.restore(node_id)
+        except UnknownNodeError:
+            restored = False
+        if restored:
             self.restores += 1
             from repro.obs.metrics import inc as metric_inc
             from repro.obs.trace import emit as obs_emit

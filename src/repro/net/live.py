@@ -20,11 +20,16 @@ sites' :class:`~repro.net.stats.NetworkStats` deltas into the local
 works exactly like the simulator: every message is billed once, at
 its sender's site, at its declared size.
 
-Scope (v1): plain :class:`~repro.sdds.lhstar.LHStarFile` with
-``split_policy="uncontrolled"`` and ``shrink=False``; crash/restore of
-hosted nodes (the PR-1 retry and PR-3 crash-detection paths run over
-real sockets); no partitions, no LH*RS parity groups.  Unsupported
-configurations raise :class:`LiveUnsupportedError` at attach time.
+Scope (v2): plain :class:`~repro.sdds.lhstar.LHStarFile` *and*
+:class:`~repro.sdds.lhstar_rs.LHStarRSFile` (parity buckets hosted on
+bucket sites, recovery over TCP) with ``split_policy="uncontrolled"``
+and ``shrink=False``; crash/restore of hosted nodes; seeded fault
+injection (loss, duplication, corruption, latency spikes, partitions)
+installed on every site through unbilled control verbs — see
+:meth:`LiveNetwork.enable_faults` — so the chaos nemesis drives real
+processes; elastic growth (a split past the provisioned site count
+spawns a new site process on demand).  Unsupported configurations
+still raise :class:`LiveUnsupportedError` at attach time.
 
 >>> # quickstart (see docs/SERVING.md):
 >>> # with LiveCluster(buckets=4) as cluster:
@@ -49,6 +54,7 @@ from typing import Any, Callable, Hashable
 
 from repro.errors import ReproError, UnknownNodeError
 from repro.net import wire
+from repro.net.faults import FaultModel
 from repro.net.serve import ClusterConfig, peer_of
 from repro.net.simulator import (
     LatencyModel,
@@ -67,7 +73,8 @@ class LiveBackendError(ReproError, RuntimeError):
 
 class LiveUnsupportedError(LiveBackendError):
     """The requested configuration or operation is outside the live
-    backend's v1 scope (parity groups, shrink, partitions, ...)."""
+    backend's scope (shrink, load-factor splitting, exotic node
+    families, ...)."""
 
 
 #: How long ``LiveNetwork.run`` may chase quiescence before giving up.
@@ -106,6 +113,57 @@ def _dial(host: str, port: int,
             time.sleep(0.1)
 
 
+class _LiveFaultModel:
+    """The client-side face of cluster-wide fault injection.
+
+    Holds a real seeded :class:`~repro.net.faults.FaultModel` for
+    messages the *client* sends (applied in :meth:`LiveNetwork.send`
+    with the simulator's exact ordering), and re-broadcasts every rate
+    change to all sites through the unbilled ``fault_set`` control
+    verb — each site salts the same seed with its index, so streams
+    are deterministic per (seed, site) and a nemesis retuning
+    ``network.faults.loss_rate`` works unchanged on sockets."""
+
+    def __init__(self, network: "LiveNetwork", seed: int) -> None:
+        self._network = network
+        self.seed = seed
+        self._local = FaultModel(seed=seed * 2003 + 1)
+
+    def _rate(name: str):  # noqa: N805 - property factory
+        def get(self) -> float:
+            return getattr(self._local, name)
+
+        def set(self, value: float) -> None:
+            setattr(self._local, name, value)
+            self._network._broadcast_faults()
+
+        return property(get, set)
+
+    loss_rate = _rate("loss_rate")
+    duplication_rate = _rate("duplication_rate")
+    corruption_rate = _rate("corruption_rate")
+    del _rate
+
+    @property
+    def reliable_kinds(self):
+        return self._local.reliable_kinds
+
+    def applies(self, kind: str) -> bool:
+        return self._local.applies(kind)
+
+    def drops(self) -> bool:
+        return self._local.drops()
+
+    def duplicates(self) -> bool:
+        return self._local.duplicates()
+
+    def corrupts(self) -> bool:
+        return self._local.corrupts()
+
+    def corrupt_bit(self) -> int:
+        return self._local.corrupt_bit()
+
+
 class LiveNetwork:
     """The client-process half of the live transport.
 
@@ -125,12 +183,27 @@ class LiveNetwork:
         self._shadows: set[Hashable] = set()
         self.delivered = 0
         self.now = 0.0
-        # Unused compatibility surface (chaos/fault models are
-        # simulator-only; kept so duck-typed readers find them).
-        self.latency = LatencyModel()
-        self.faults = None
+        #: Latency model; assigning one (the nemesis swaps in a spiked
+        #: model) broadcasts its ``extra`` as a sender-side hold to
+        #: every site through the ``delay`` control verb.
+        self._latency: Any = LatencyModel()
+        #: Fault injection, off until :meth:`enable_faults`.
+        self.faults: _LiveFaultModel | None = None
+        #: Optional :class:`~repro.net.faults.CrashFaultModel`,
+        #: advanced inside :meth:`run` like the simulator does.
         self.crashes = None
+        #: Attached schedules (the chaos nemesis appends itself);
+        #: advanced inside :meth:`run` on the wall clock.
         self.schedules: list[Any] = []
+        #: Severed directed links, checked for client-bound arrivals;
+        #: sites hold the same set for their own deliveries.
+        self._partitions: set[tuple] = set()
+        #: LH*_RS layout per file name (group_size, parity_count),
+        #: learned at attach time; places parity ids on host sites.
+        self._rs_params: dict[str, tuple[int, int]] = {}
+        #: Callback to provision sites for bucket addresses beyond the
+        #: cluster config (set by :meth:`LiveCluster.connect`).
+        self._on_missing_site: Callable[[int], None] | None = None
         self._t0 = time.monotonic()
         self._sent = 0
         self._inbox: list[Message] = []
@@ -167,7 +240,127 @@ class LiveNetwork:
     def __exit__(self, *exc: Any) -> None:
         self.close()
 
+    # -- fault injection -------------------------------------------------
+
+    @property
+    def latency(self) -> Any:
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: Any) -> None:
+        self._latency = model
+        extra = float(getattr(model, "extra", 0.0))
+        self._broadcast({"ctrl": "delay", "extra": extra})
+
+    def enable_faults(self, seed: int) -> _LiveFaultModel:
+        """Install seeded fault models cluster-wide and return the
+        client-side proxy (also stored as ``self.faults``) whose rate
+        attributes a nemesis tunes exactly as on the simulator."""
+        self.faults = _LiveFaultModel(self, seed)
+        self._broadcast_faults()
+        return self.faults
+
+    def _broadcast(self, payload: dict) -> None:
+        for key in list(self._conns):
+            self._roundtrip(key, dict(payload))
+
+    def _broadcast_faults(self) -> None:
+        faults = self.faults
+        if faults is None:
+            return
+        self._broadcast({
+            "ctrl": "fault_set",
+            "seed": faults.seed,
+            "loss_rate": faults.loss_rate,
+            "duplication_rate": faults.duplication_rate,
+            "corruption_rate": faults.corruption_rate,
+        })
+
     # -- topology --------------------------------------------------------
+
+    def _peer_of(self, node_id: Hashable) -> tuple | None:
+        """Parity-aware :func:`repro.net.serve.peer_of` using the
+        layouts learned at attach time."""
+        peer = peer_of(node_id)
+        if (peer is None and isinstance(node_id, tuple) and node_id
+                and node_id[0] == "parity" and len(node_id) == 4):
+            rs = self._rs_params.get(node_id[1])
+            if rs is not None:
+                peer = peer_of(node_id, group_size=rs[0])
+        return peer
+
+    def _ensure_site(self, needed: int) -> None:
+        """Make sure bucket addresses ``< needed`` have a hosting
+        site, spawning processes through the cluster when possible."""
+        if needed <= len(self.config.buckets):
+            return
+        if self._on_missing_site is None:
+            raise LiveBackendError(
+                f"no site hosts bucket address {needed - 1} and this "
+                "network cannot spawn sites (connect through a "
+                "LiveCluster)"
+            )
+        self._on_missing_site(needed)
+        self._sync_conns()
+        # Existing sites still hold the old map (and possibly parked
+        # frames for the new ones): broadcast the grown config.
+        self._broadcast({"ctrl": "config",
+                         "buckets": list(self.config.buckets)})
+        # The new sites must also see current fault/latency rules.
+        self._broadcast_faults()
+        extra = float(getattr(self._latency, "extra", 0.0))
+        if extra:
+            self._broadcast({"ctrl": "delay", "extra": extra})
+
+    def _connect_peer(self, key: tuple) -> _Conn:
+        conn = self._conns.get(key)
+        if conn is None:
+            conn = self._conns[key] = _Conn(
+                key, _dial(*self.config.peer_address(key)))
+            for node_id in list(self.nodes):
+                self._roundtrip(key, {"ctrl": "register_client",
+                                      "node": node_id})
+        return conn
+
+    def _sync_conns(self) -> None:
+        """Dial (and register local clients at) any configured site
+        this network has no connection to yet — the cluster may have
+        grown underneath us, possibly via another client."""
+        for index in range(len(self.config.buckets)):
+            self._connect_peer(("bucket", index))
+
+    @staticmethod
+    def _file_params(file: Any) -> dict:
+        from repro.sdds.lhstar_rs import LHStarRSFile
+
+        rs = None
+        if isinstance(file, LHStarRSFile):
+            rs = {"group_size": file.group_size,
+                  "parity_count": file.parity_count}
+        return {
+            "name": file.name,
+            "bucket_capacity": file.bucket_capacity,
+            "shrink": file.shrink,
+            "split_policy": file.split_policy,
+            "load_factor_threshold": file.load_factor_threshold,
+            "merge_threshold": file.merge_threshold,
+            "retry_policy": file.retry_policy,
+            "rs": rs,
+        }
+
+    def _register_rs(self, file: Any) -> None:
+        from repro.sdds.lhstar_rs import LHStarRSFile
+
+        if not isinstance(file, LHStarRSFile):
+            return
+        if file.parity_count > file.group_size:
+            raise LiveUnsupportedError(
+                "the live backend places parity (group, index) on "
+                "bucket site group*group_size+index, which needs "
+                "parity_count <= group_size"
+            )
+        self._rs_params[file.name] = (file.group_size,
+                                      file.parity_count)
 
     def attach(self, node: Node) -> Node:
         from repro.sdds.lhstar import (
@@ -175,6 +368,7 @@ class LiveNetwork:
             LHStarCoordinator,
             LHStarFile,
         )
+        from repro.sdds.lhstar_rs import LHStarRSFile, ParityBucket
 
         node_id = node.node_id
         family = node_id[0] if (isinstance(node_id, tuple)
@@ -184,7 +378,7 @@ class LiveNetwork:
                 raise ValueError(f"duplicate node id {node_id!r}")
             node.network = self
             self.nodes[node_id] = node
-            for key in self._conns:
+            for key in list(self._conns):
                 self._roundtrip(key, {"ctrl": "register_client",
                                       "node": node_id})
             return node
@@ -192,27 +386,36 @@ class LiveNetwork:
             if type(node) is not LHStarBucket:
                 raise LiveUnsupportedError(
                     f"{type(node).__name__} buckets are not hosted by "
-                    "the live backend v1 (plain LH* only)"
+                    "the live backend (plain LH* buckets only)"
                 )
             file = node.file
-            if node.address >= len(self.config.buckets):
-                raise LiveBackendError(
-                    f"bucket address {node.address} needs a site, but "
-                    f"the cluster has {len(self.config.buckets)} "
-                    "bucket processes"
-                )
+            self._register_rs(file)
+            self._ensure_site(node.address + 1)
             self._roundtrip(("bucket", node.address), {
                 "ctrl": "create_bucket",
-                "name": file.name,
                 "address": node.address,
                 "level": node.level,
                 "pending": node.pending,
-                "bucket_capacity": file.bucket_capacity,
-                "shrink": file.shrink,
-                "split_policy": file.split_policy,
-                "load_factor_threshold": file.load_factor_threshold,
-                "merge_threshold": file.merge_threshold,
-                "retry_policy": file.retry_policy,
+                **self._file_params(file),
+            })
+            node.network = self
+            self._shadows.add(node_id)
+            return node
+        if family == "parity":
+            if type(node) is not ParityBucket:
+                raise LiveUnsupportedError(
+                    f"{type(node).__name__} is not hosted by the live "
+                    "backend"
+                )
+            file = node.file
+            self._register_rs(file)
+            site = node.group * file.group_size + node.index
+            self._ensure_site(site + 1)
+            self._roundtrip(("bucket", site), {
+                "ctrl": "create_parity",
+                "group": node.group,
+                "index": node.index,
+                **self._file_params(file),
             })
             node.network = self
             self._shadows.add(node_id)
@@ -221,32 +424,27 @@ class LiveNetwork:
             if type(node) is not LHStarCoordinator:
                 raise LiveUnsupportedError(
                     f"{type(node).__name__} is not hosted by the live "
-                    "backend v1"
+                    "backend"
                 )
             file = node.file
-            if type(file) is not LHStarFile:
+            if type(file) not in (LHStarFile, LHStarRSFile):
                 raise LiveUnsupportedError(
                     f"{type(file).__name__} needs node families the "
-                    "live backend v1 does not host (parity groups)"
+                    "live backend does not host"
                 )
             if file.split_policy != "uncontrolled":
                 raise LiveUnsupportedError(
-                    "live backend v1 supports "
+                    "the live backend supports "
                     "split_policy='uncontrolled' only"
                 )
             if file.shrink:
                 raise LiveUnsupportedError(
-                    "live backend v1 does not support file shrinking"
+                    "the live backend does not support file shrinking"
                 )
+            self._register_rs(file)
             self._roundtrip(("coordinator",), {
                 "ctrl": "create_coordinator",
-                "name": file.name,
-                "bucket_capacity": file.bucket_capacity,
-                "shrink": file.shrink,
-                "split_policy": file.split_policy,
-                "load_factor_threshold": file.load_factor_threshold,
-                "merge_threshold": file.merge_threshold,
-                "retry_policy": file.retry_policy,
+                **self._file_params(file),
             })
             node.network = self
             self._shadows.add(node_id)
@@ -269,70 +467,162 @@ class LiveNetwork:
 
     # -- crash faults ----------------------------------------------------
 
+    def _hosted_peer(self, node_id: Hashable, what: str) -> tuple:
+        """Resolve the hosting site of a crash/restore target, raising
+        the same typed errors for both verbs: ``LiveUnsupportedError``
+        for unroutable families (clients live in this process) and
+        ``UnknownNodeError`` for a hosted id no site knows."""
+        peer = self._peer_of(node_id)
+        if peer is None:
+            raise LiveUnsupportedError(
+                f"only hosted (bucket/coordinator/parity) nodes can "
+                f"be {what} on the live backend"
+            )
+        if (peer[0] == "bucket"
+                and peer[1] >= len(self.config.buckets)):
+            # No site was ever provisioned for this address, so the
+            # node cannot exist anywhere.
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        return peer
+
     def crash(self, node_id: Hashable) -> None:
         """Crash a hosted node: its site drops (and bills) inbound
         messages and freezes its timers, exactly like the simulator.
-        Records survive — this models a host outage, not disk loss."""
-        peer = peer_of(node_id)
-        if peer is None:
-            raise LiveUnsupportedError(
-                "only hosted (bucket/coordinator) nodes can crash on "
-                "the live backend"
-            )
-        if node_id not in self._shadows:
+        Records survive — this models a host outage, not disk loss.
+        The hosting site validates existence, so buckets created
+        server-side by splits are crashable too."""
+        peer = self._hosted_peer(node_id, "crashed")
+        self._connect_peer(peer)
+        reply = self._roundtrip(peer, {"ctrl": "crash",
+                                       "node": node_id})
+        if not reply.get("known", True):
             raise UnknownNodeError(f"unknown node {node_id!r}")
-        self._roundtrip(peer, {"ctrl": "crash", "node": node_id})
         self._crashed.add(node_id)
 
     def restore(self, node_id: Hashable) -> bool:
-        peer = peer_of(node_id)
-        if peer is None or node_id not in self._shadows:
-            return False
+        peer = self._hosted_peer(node_id, "restored")
+        self._connect_peer(peer)
         reply = self._roundtrip(peer, {"ctrl": "restore",
                                        "node": node_id})
+        if not reply.get("known", True):
+            raise UnknownNodeError(f"unknown node {node_id!r}")
         self._crashed.discard(node_id)
         return bool(reply["was_crashed"])
 
     def is_crashed(self, node_id: Hashable) -> bool:
         return node_id in self._crashed
 
+    # -- partitions ------------------------------------------------------
+
     def partition(self, group_a: Any, group_b: Any,
                   symmetric: bool = True) -> None:
-        raise LiveUnsupportedError(
-            "network partitions are simulator-only")
+        """Sever directed links cluster-wide (simulator semantics:
+        the message is billed at send and dies, as
+        ``partitioned_drops``, at the delivering site)."""
+        from repro.net.simulator import Network
 
-    def heal(self, group_a: Any = None, group_b: Any = None,
+        links = []
+        for a in Network._as_group(group_a):
+            for b in Network._as_group(group_b):
+                if a == b:
+                    continue
+                links.append((a, b))
+                if symmetric:
+                    links.append((b, a))
+        self._partitions.update(links)
+        self._broadcast({"ctrl": "partition",
+                         "links": [list(link) for link in links]})
+
+    def heal(self, group_a: Any | None = None,
+             group_b: Any | None = None,
              symmetric: bool = True) -> None:
-        raise LiveUnsupportedError(
-            "network partitions are simulator-only")
+        from repro.net.simulator import Network
+
+        if group_a is None and group_b is None:
+            self._partitions.clear()
+            self._broadcast({"ctrl": "heal", "all": True})
+            return
+        if group_a is None or group_b is None:
+            raise ValueError("heal takes no groups or both groups")
+        links = []
+        for a in Network._as_group(group_a):
+            for b in Network._as_group(group_b):
+                links.append((a, b))
+                if symmetric:
+                    links.append((b, a))
+        self._partitions.difference_update(links)
+        self._broadcast({"ctrl": "heal",
+                         "links": [list(link) for link in links]})
+
+    def is_partitioned(self, src: Hashable, dst: Hashable) -> bool:
+        return (src, dst) in self._partitions
 
     # -- messaging -------------------------------------------------------
 
     def send(self, src: Hashable, dst: Hashable, kind: str,
              payload: dict | None = None, size: int = 64,
              hops: int = 0) -> Message:
-        """Bill and ship one message.  Billing happens here, at the
-        declared size — the same accounting point as the simulator."""
+        """Bill, apply client-side faults, and ship one message.
+        Billing happens here, at the declared size — the same
+        accounting point (and the same fault ordering) as the
+        simulator.  A dropped message is billed but never shipped."""
         payload = payload or {}
         self.stats.record(kind, size)
         if self.observer is not None:
             self.observer.on_send(kind, size)
+        faults = self.faults
+        copies = 1
+        base_checksum = 0
+        if faults is not None and faults.applies(kind):
+            if faults.drops():
+                self.stats.dropped += 1
+                if self.observer is not None:
+                    self.observer.on_drop(kind, size)
+                return Message(src=src, dst=dst, kind=kind,
+                               payload=payload, size=size, hops=hops,
+                               send_time=self.now,
+                               arrival_time=float("inf"))
+            if faults.duplicates():
+                copies = 2
+            if faults.corruption_rate > 0:
+                base_checksum = wire_checksum(kind, payload, size)
+        first: Message | None = None
+        for copy in range(copies):
+            if copy:
+                self.stats.record(kind, size)
+                self.stats.duplicated += 1
+                if self.observer is not None:
+                    self.observer.on_send(kind, size)
+            checksum = base_checksum
+            if base_checksum and faults.corrupts():
+                checksum ^= 1 << faults.corrupt_bit()
+                if checksum == 0:
+                    checksum = 0xFFFFFFFF
+            message = Message(src=src, dst=dst, kind=kind,
+                              payload=payload, size=size, hops=hops,
+                              send_time=self.now, checksum=checksum)
+            self._ship(message)
+            if first is None:
+                first = message
+        return first
+
+    def _ship(self, message: Message) -> None:
         self._sent += 1
-        message = Message(src=src, dst=dst, kind=kind, payload=payload,
-                          size=size, hops=hops, send_time=self.now)
+        dst = message.dst
         if dst in self.nodes:
             self._inbox.append(message)
-            return message
-        peer = peer_of(dst)
+            return
+        peer = self._peer_of(dst)
         if peer is None:
             raise LiveUnsupportedError(
                 f"cannot route to node family of {dst!r}")
         if peer[0] == "bucket" and peer[1] >= len(self.config.buckets):
-            raise LiveBackendError(
-                f"no site hosts bucket address {peer[1]}")
-        self._conns[peer].outbuf += wire.encode_frame(
+            # A keyed operation can outrun the coordinator's split
+            # traffic to an address no site hosts yet: grow first.
+            self._ensure_site(peer[1] + 1)
+        conn = self._connect_peer(peer)
+        conn.outbuf += wire.encode_frame(
             wire.CHANNEL_DATA, wire.message_to_wire(message))
-        return message
 
     def schedule(self, delay: float, callback: Callable[[], None],
                  owner: Hashable | None = None) -> Timer:
@@ -433,6 +723,14 @@ class LiveNetwork:
             message = self._inbox.pop(0)
             progress = True
             self.now = max(self.now, self._mono())
+            if (message.src, message.dst) in self._partitions:
+                # Same rule the sites apply: the link was severed when
+                # the message would have arrived.
+                self.stats.partitioned_drops += 1
+                if self.observer is not None:
+                    self.observer.on_drop(message.kind, message.size)
+                self.delivered += 1
+                continue
             node = self.nodes.get(message.dst)
             if node is None:
                 # Meanwhile-detached client: the message crossed the
@@ -510,17 +808,25 @@ class LiveNetwork:
 
         Returns ``(quiescent, totals)``; ``totals`` feeds the
         two-identical-rounds rule in :meth:`run`."""
+        self._sync_conns()
         sent = self._sent
         delivered = self.delivered
         buffered = 0
         timers = 0 if self._next_timer_due() is None else 1
-        for key in self._conns:
+        missing: set[int] = set()
+        for key in list(self._conns):
             reply = self._roundtrip(key, {"ctrl": "census"})
             sent += reply["sent"]
             delivered += reply["delivered"]
             buffered += reply["buffered"]
             timers += reply["timers"]
+            missing.update(reply.get("missing") or ())
             self._merge_site_stats(key, reply["stats"])
+        if missing:
+            # Some site parked frames for unprovisioned addresses:
+            # grow the cluster and let the flushed frames settle.
+            self._ensure_site(max(missing) + 1)
+            return False, None
         if self._inbox:
             # Data slipped in during the census: not idle after all.
             return False, None
@@ -549,6 +855,20 @@ class LiveNetwork:
             result.update(reply["buckets"])
         return result
 
+    def dump_parity(self, name: str) -> dict[tuple, dict]:
+        """All hosted parity slot tables of file ``name``: one entry
+        per ``(group, index)``, each mapping rank -> payload/rids/
+        lengths — the raw material for the client-side
+        parity-consistency oracle."""
+        result: dict[tuple, dict] = {}
+        for key in list(self._conns):
+            if key[0] != "bucket":
+                continue
+            reply = self._roundtrip(key, {"ctrl": "dump_parity",
+                                          "name": name})
+            result.update(reply["slots"])
+        return result
+
     def coordinator_state(self, name: str) -> dict:
         return self._roundtrip(("coordinator",), {"ctrl": "state",
                                                   "name": name})
@@ -571,6 +891,11 @@ class LiveNetwork:
                     f"{self.run_timeout}s (sent={self._sent}, "
                     f"delivered={self.delivered})"
                 )
+            self.now = max(self.now, self._mono())
+            if self.crashes is not None:
+                self.crashes.advance(self, self.now)
+            for schedule in list(self.schedules):
+                schedule.advance(self, self.now)
             if self._service(0.002):
                 last_totals = None
                 continue
@@ -649,6 +974,9 @@ class LiveCluster:
         self.codec_cache_dir = codec_cache_dir
         self._log_dir = Path(log_dir) if log_dir else None
         self._tmp: tempfile.TemporaryDirectory | None = None
+        self._site_log_dir: Path | None = None
+        self._config_path: Path | None = None
+        self._env: dict[str, str] | None = None
         self._procs: dict[tuple, subprocess.Popen] = {}
         self._logs: dict[tuple, Path] = {}
         self._networks: list[LiveNetwork] = []
@@ -661,10 +989,11 @@ class LiveCluster:
         workdir = Path(self._tmp.name)
         log_dir = self._log_dir or workdir
         log_dir.mkdir(parents=True, exist_ok=True)
+        self._site_log_dir = log_dir
         ports = _free_ports(self.host, self.buckets + 1)
         self.config = ClusterConfig(self.host, ports[0], ports[1:])
-        config_path = workdir / "cluster.json"
-        self.config.dump(str(config_path))
+        self._config_path = workdir / "cluster.json"
+        self.config.dump(str(self._config_path))
 
         env = dict(os.environ)
         env.update(self.extra_env)
@@ -680,60 +1009,120 @@ class LiveCluster:
             env["PYTHONPATH"] = (
                 src_root + (os.pathsep + existing if existing else "")
             )
+        self._env = env
 
-        def spawn(key: tuple, role: str, index: int) -> None:
-            label = f"{role}-{index}" if role == "bucket" else role
-            log_path = log_dir / f"{label}.log"
-            handle = open(log_path, "wb")
-            try:
-                proc = subprocess.Popen(
-                    [sys.executable, "-m", "repro.net.serve",
-                     "--role", role, "--index", str(index),
-                     "--config", str(config_path)],
-                    stdout=handle, stderr=subprocess.STDOUT, env=env,
-                )
-            finally:
-                handle.close()
-            self._procs[key] = proc
-            self._logs[key] = log_path
-
-        for index in range(self.buckets):
-            spawn(("bucket", index), "bucket", index)
-        spawn(("coordinator",), "coordinator", 0)
-        self._await_ready()
+        try:
+            for index in range(self.buckets):
+                self._spawn(("bucket", index), "bucket", index)
+            self._spawn(("coordinator",), "coordinator", 0)
+            deadline = time.monotonic() + self.startup_timeout
+            for key in list(self._procs):
+                self._probe_ready(key, deadline)
+        except BaseException:
+            # Partial startup must not leak orphan site processes.
+            self.shutdown()
+            raise
         return self
 
-    def _await_ready(self) -> None:
+    def _spawn(self, key: tuple, role: str, index: int) -> None:
+        label = f"{role}-{index}" if role == "bucket" else role
+        log_path = self._site_log_dir / f"{label}.log"
+        handle = open(log_path, "wb")
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.net.serve",
+                 "--role", role, "--index", str(index),
+                 "--config", str(self._config_path)],
+                stdout=handle, stderr=subprocess.STDOUT,
+                env=self._env,
+            )
+        finally:
+            handle.close()
+        self._procs[key] = proc
+        self._logs[key] = log_path
+
+    def _probe_ready(self, key: tuple, deadline: float) -> None:
+        """Wait until site ``key`` answers a ``ping`` control
+        round-trip: retry with exponential backoff under a hard
+        deadline, and fail loudly (with the site's log tail) if the
+        process dies or the deadline passes."""
         assert self.config is not None
-        deadline = time.monotonic() + self.startup_timeout
-        for key, proc in self._procs.items():
-            host, port = self.config.peer_address(key)
+        host, port = self.config.peer_address(key)
+        delay = 0.02
+        while True:
+            proc = self._procs[key]
+            if proc.poll() is not None:
+                raise LiveBackendError(
+                    f"site process {key!r} exited with code "
+                    f"{proc.returncode} during startup; log tail:\n"
+                    + _tail(self._logs[key])
+                )
+            if time.monotonic() > deadline:
+                raise LiveBackendError(
+                    f"site {key!r} did not answer a ping within "
+                    f"{self.startup_timeout}s; log tail:\n"
+                    + _tail(self._logs[key])
+                )
+            if self._try_ping(host, port):
+                return
+            time.sleep(delay)
+            delay = min(delay * 1.5, 0.5)
+
+    @staticmethod
+    def _try_ping(host: str, port: int) -> bool:
+        """One ping control round-trip over a throwaway connection."""
+        try:
+            sock = socket.create_connection((host, port), timeout=1.0)
+        except OSError:
+            return False
+        try:
+            sock.settimeout(1.0)
+            sock.sendall(wire.encode_frame(
+                wire.CHANNEL_CTRL, {"ctrl": "ping", "token": 1}))
+            decoder = wire.FrameDecoder()
             while True:
-                if proc.poll() is not None:
-                    raise LiveBackendError(
-                        f"site process {key!r} exited with code "
-                        f"{proc.returncode} during startup; log tail:\n"
-                        + _tail(self._logs[key])
-                    )
-                try:
-                    probe = socket.create_connection((host, port),
-                                                     timeout=1.0)
-                    probe.close()
-                    break
-                except OSError:
-                    if time.monotonic() > deadline:
-                        raise LiveBackendError(
-                            f"site {key!r} did not come up within "
-                            f"{self.startup_timeout}s; log tail:\n"
-                            + _tail(self._logs[key])
-                        ) from None
-                    time.sleep(0.05)
+                data = sock.recv(1 << 16)
+                if not data:
+                    return False
+                decoder.feed(data)
+                for __, value in decoder.frames():
+                    if (isinstance(value, dict)
+                            and value.get("ctrl") == "ack"):
+                        return True
+        except (OSError, wire.WireError):
+            return False
+        finally:
+            sock.close()
+
+    def ensure_site(self, count: int) -> None:
+        """Grow the cluster to at least ``count`` bucket sites
+        (idempotent).  New processes read the re-dumped config; the
+        caller (``LiveNetwork._ensure_site``) broadcasts the grown map
+        to the already-running sites."""
+        assert self.config is not None
+        if count <= len(self.config.buckets):
+            return
+        start_index = len(self.config.buckets)
+        new_ports = _free_ports(self.host, count - start_index)
+        # Extend in place: every connected LiveNetwork shares this
+        # ClusterConfig object and sees the growth immediately.
+        self.config.buckets.extend(new_ports)
+        self.config.dump(str(self._config_path))
+        deadline = time.monotonic() + self.startup_timeout
+        for offset in range(len(new_ports)):
+            index = start_index + offset
+            self._spawn(("bucket", index), "bucket", index)
+        for offset in range(len(new_ports)):
+            self._probe_ready(("bucket", start_index + offset),
+                              deadline)
+        self.buckets = len(self.config.buckets)
 
     def connect(self,
                 run_timeout: float = DEFAULT_RUN_TIMEOUT) -> LiveNetwork:
         if self.config is None:
             raise LiveBackendError("cluster is not started")
         network = LiveNetwork(self.config, run_timeout=run_timeout)
+        network._on_missing_site = self.ensure_site
         self._networks.append(network)
         return network
 

@@ -18,9 +18,11 @@ Each process owns:
   ``schedule`` arms real-time asyncio timers with the simulator's
   crash-freeze semantics.
 * a control plane (unbilled, ``CHANNEL_CTRL``): node creation, crash
-  and restore flags, census, record dumps, shutdown.  Control traffic
-  deliberately mirrors the simulator's unbilled *method calls*
-  (``Network.crash`` etc.).
+  and restore flags, fault-rule installation (loss / duplication /
+  corruption / latency / partitions — see ``fault_set``, ``partition``,
+  ``heal``, ``delay``, ``drop``), census, record and parity dumps,
+  shutdown.  Control traffic deliberately mirrors the simulator's
+  unbilled *method calls* (``Network.crash`` etc.).
 * conservation counters (data messages sent / delivered / buffered)
   the client's census sums to detect global quiescence — the live
   equivalent of the simulator's run-to-quiescence event loop.
@@ -31,6 +33,15 @@ hosting site: inbound data for the node is dropped and billed as
 — byte-for-byte the accounting of the simulated ``Network.crash``,
 with records preserved across the outage.
 
+v2 additions: a per-site seeded :class:`~repro.net.faults.FaultModel`
+applied at the simulator's exact fault points (send-side loss /
+duplication / checksum stamping, delivery-side partition and checksum
+checks), LH*_RS parity hosting (``create_parity`` / ``create_spare``
+control verbs; parity deltas and the whole recovery gather run over
+TCP, billed), and elastic growth: a frame for a bucket address beyond
+the provisioned site count is *parked* and reported in the census so
+the cluster can spawn the missing site and re-deliver (``config``).
+
 See ``docs/SERVING.md`` for the topology and wire format.
 """
 
@@ -38,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import heapq
 import json
 import logging
 import sys
@@ -45,7 +57,8 @@ from typing import Any, Callable, Hashable
 
 from repro.errors import UnknownNodeError
 from repro.net import wire
-from repro.net.simulator import Message, Node, Timer
+from repro.net.faults import RELIABLE_KINDS, FaultModel
+from repro.net.simulator import Message, Node, Timer, wire_checksum
 from repro.net.stats import NetworkStats
 from repro.obs import metrics as obs_metrics
 
@@ -84,15 +97,26 @@ class ClusterConfig:
         return self.host, self.buckets[key[1]]
 
 
-def peer_of(node_id: Hashable) -> tuple | None:
+def peer_of(node_id: Hashable,
+            group_size: int | None = None) -> tuple | None:
     """The hosting-process key of a protocol node id, or ``None``
-    for client nodes (which live in the connecting process)."""
+    for client nodes (which live in the connecting process).
+
+    Parity ids ``("parity", name, group, index)`` are placed on the
+    bucket site ``group * group_size + index`` — deterministic, stable
+    under file growth, and distinct per parity bucket as long as
+    ``parity_count <= group_size`` (enforced at attach time).  Without
+    ``group_size`` the placement is unknown and ``None`` is returned.
+    """
     if not isinstance(node_id, tuple) or not node_id:
         return None
     if node_id[0] == "bucket":
         return ("bucket", node_id[2])
     if node_id[0] == "coordinator":
         return ("coordinator",)
+    if (node_id[0] == "parity" and len(node_id) == 4
+            and group_size is not None):
+        return ("bucket", node_id[2] * group_size + node_id[3])
     return None
 
 
@@ -131,7 +155,8 @@ class ShellFile:
     def __init__(self, server: "SiteServer", name: str,
                  bucket_capacity: int, shrink: bool,
                  split_policy: str, load_factor_threshold: float,
-                 merge_threshold: float, retry_policy) -> None:
+                 merge_threshold: float, retry_policy,
+                 rs: dict | None = None) -> None:
         self.server = server
         self.network = server.network
         self.name = name
@@ -142,6 +167,18 @@ class ShellFile:
         self.merge_threshold = merge_threshold
         self.retry_policy = retry_policy
         self.record_count = 0
+        #: LH*_RS parameters (``{"group_size": m, "parity_count": k}``)
+        #: or ``None`` for plain LH*.  When set, locally hosted data
+        #: buckets emit billed ``parity_delta`` messages exactly like
+        #: :class:`~repro.sdds.lhstar_rs.LHStarRSFile`, with the rank
+        #: tables living at the hosting site.
+        self.rs = dict(rs) if rs else None
+        self.group_size = self.rs["group_size"] if self.rs else None
+        self.parity_count = self.rs["parity_count"] if self.rs else None
+        self._generator = None
+        self._ranks: dict[int, dict[int, int]] = {}
+        self._free_ranks: dict[int, list[int]] = {}
+        self._next_rank: dict[int, int] = {}
         #: The locally hosted buckets of this file (at most one per
         #: bucket process); the coordinator sees stubs instead.
         self.local_buckets: dict[int, Any] = {}
@@ -158,19 +195,131 @@ class ShellFile:
     def coordinator_id(self) -> Hashable:
         return ("coordinator", self.name)
 
-    # -- bookkeeping hooks (plain LH*: no parity layer) -------------------
+    def parity_id(self, group: int, index: int) -> Hashable:
+        return ("parity", self.name, group, index)
+
+    def group_of(self, address: int) -> int:
+        return address // self.group_size
+
+    def offset_of(self, address: int) -> int:
+        return address % self.group_size
+
+    @property
+    def generator(self):
+        """The group's Cauchy generator (same matrix as the real
+        :class:`~repro.sdds.lhstar_rs.LHStarRSFile`), built lazily so
+        plain-LH* shells never import the parity layer."""
+        if self._generator is None:
+            from repro.sdds.lhstar_rs import generator_matrix
+
+            self._generator = generator_matrix(self.group_size,
+                                               self.parity_count)
+        return self._generator
+
+    def _shell_params(self) -> dict:
+        """The creation parameters another site needs to rebuild this
+        shell (forwarded verbatim in ``create_*`` control verbs)."""
+        return {
+            "name": self.name,
+            "bucket_capacity": self.bucket_capacity,
+            "shrink": self.shrink,
+            "split_policy": self.split_policy,
+            "load_factor_threshold": self.load_factor_threshold,
+            "merge_threshold": self.merge_threshold,
+            "retry_policy": self.retry_policy,
+            "rs": self.rs,
+        }
+
+    # -- rank management (mirrors LHStarRSFile, per hosted address) -------
+
+    def init_ranks(self, address: int) -> None:
+        """Prepare (or preserve, across a spare swap) the rank tables
+        of a locally hosted data bucket.  Tables survive crash →
+        ``create_spare``: the parity buckets still hold the dead
+        bucket's contributions under the original ranks, and the
+        reconstructed records are re-installed without re-emitting."""
+        if self.rs is None:
+            return
+        self._ranks.setdefault(address, {})
+        self._free_ranks.setdefault(address, [])
+        self._next_rank.setdefault(address, 0)
+
+    def _assign_rank(self, address: int, rid: int) -> int:
+        ranks = self._ranks[address]
+        if rid in ranks:
+            return ranks[rid]
+        free = self._free_ranks[address]
+        if free:
+            rank = heapq.heappop(free)
+        else:
+            rank = self._next_rank[address]
+            self._next_rank[address] += 1
+        ranks[rid] = rank
+        return rank
+
+    def _release_rank(self, address: int, rid: int) -> int:
+        rank = self._ranks[address].pop(rid)
+        heapq.heappush(self._free_ranks[address], rank)
+        return rank
+
+    def _send_delta(self, address: int, rank: int, rid: int | None,
+                    delta: bytes, length: int) -> None:
+        from repro.sdds.lhstar import HEADER_SIZE
+
+        group = self.group_of(address)
+        offset = self.offset_of(address)
+        for index in range(self.parity_count):
+            self.network.send(
+                self.bucket_id(address),
+                self.parity_id(group, index),
+                "parity_delta",
+                {"rank": rank, "offset": offset, "rid": rid,
+                 "delta": delta, "length": length},
+                size=HEADER_SIZE + len(delta),
+            )
+
+    # -- bookkeeping hooks (parity deltas when ``rs`` is set) -------------
 
     def on_store(self, address, record, old) -> None:
         if old is None:
             self.record_count += 1
+        if self.rs is None:
+            return
+        from repro.sdds.lhstar_rs import _xor
+
+        rank = self._assign_rank(address, record.rid)
+        delta = _xor(record.content, old.content if old else b"")
+        self._send_delta(address, rank, record.rid, delta,
+                         len(record.content))
 
     def on_remove(self, address, record) -> None:
         self.record_count -= 1
+        if self.rs is None:
+            return
+        rank = self._release_rank(address, record.rid)
+        self._send_delta(address, rank, None, record.content, 0)
 
     def on_move(self, old, new, record) -> None:
-        pass
+        if self.rs is None:
+            return
+        ranks = self._ranks.get(old)
+        rank = None if ranks is None else ranks.pop(record.rid, None)
+        if rank is None:
+            return
+        heapq.heappush(self._free_ranks[old], rank)
+        self._send_delta(old, rank, None, record.content, 0)
 
-    # -- crash-recovery hooks (plain LH*) ---------------------------------
+    def on_absorb(self, address, record, old) -> None:
+        if self.rs is None:
+            return
+        from repro.sdds.lhstar_rs import _xor
+
+        rank = self._assign_rank(address, record.rid)
+        delta = _xor(record.content, old.content if old else b"")
+        self._send_delta(address, rank, record.rid, delta,
+                         len(record.content))
+
+    # -- crash-recovery hooks (overridden on the coordinator shell) -------
 
     def begin_recovery(self, address: int, level: int) -> bool:
         return False
@@ -182,17 +331,34 @@ class ShellFile:
         return [address]
 
     def degraded_read_target(self, address: int):
-        return None
+        if self.rs is None:
+            return None
+        return self.parity_id(self.group_of(address), 0)
 
     def degraded_dead_set(self, address, dead) -> list[int]:
-        return [address]
+        if self.rs is None:
+            return [address]
+        members = self.recovery_group(address)
+        return sorted({m for m in members if m in dead} | {address})
 
     def retire_bucket(self, address: int) -> None:
         pass
 
 
 class CoordinatorShellFile(ShellFile):
-    """Coordinator-side shell: splits create buckets *remotely*."""
+    """Coordinator-side shell: splits create buckets *remotely*, and
+    (for LH*_RS files) drive parity creation and spare spawning."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Every bucket address ever created for this file (bucket 0
+        #: exists from file construction) — the coordinator's view of
+        #: group membership for recovery.
+        self.created: set[int] = {0}
+        #: Groups whose parity buckets exist.  Group 0's parity is
+        #: created by the connecting client at attach time; later
+        #: groups are created here, on the split that opens them.
+        self._parity_groups: set[int] = {0}
 
     @property
     def buckets(self) -> _StubBuckets:
@@ -207,24 +373,82 @@ class CoordinatorShellFile(ShellFile):
         created node until creation lands."""
         self.server.send_ctrl(("bucket", address), {
             "ctrl": "create_bucket",
-            "name": self.name,
             "address": address,
             "level": level,
             "pending": pending,
-            "bucket_capacity": self.bucket_capacity,
-            "shrink": self.shrink,
-            "split_policy": self.split_policy,
-            "load_factor_threshold": self.load_factor_threshold,
-            "merge_threshold": self.merge_threshold,
-            "retry_policy": self.retry_policy,
+            **self._shell_params(),
         })
+        self.created.add(address)
+        if self.rs is None:
+            return
+        group = self.group_of(address)
+        if group in self._parity_groups:
+            return
+        self._parity_groups.add(group)
+        for index in range(self.parity_count):
+            self.server.send_ctrl(
+                ("bucket", group * self.group_size + index),
+                {"ctrl": "create_parity", "group": group,
+                 "index": index, **self._shell_params()})
+
+    def recovery_group(self, address: int) -> list[int]:
+        if self.rs is None:
+            return [address]
+        base = self.group_of(address) * self.group_size
+        return [base + offset for offset in range(self.group_size)
+                if (base + offset) in self.created]
+
+    def begin_recovery(self, address: int, level: int) -> bool:
+        """The live form of ``LHStarRSFile.begin_recovery``: spawn the
+        spare *remotely* (unbilled control verb to the dead bucket's
+        site, mirroring the simulator's unbilled ``spawn_spare``) and
+        ask the group's first parity bucket — over the billed data
+        plane — to gather, solve, and install."""
+        if self.rs is None:
+            return False
+        from repro.sdds.lhstar import HEADER_SIZE
+
+        coordinator = self.network.nodes.get(self.coordinator_id)
+        dead = self.degraded_dead_set(
+            address, coordinator.dead if coordinator is not None else {})
+        if len(dead) > self.parity_count:
+            return False
+        group = self.group_of(address)
+        obs_metrics.inc("lh.recover")
+        self.server.send_ctrl(("bucket", address), {
+            "ctrl": "create_spare",
+            "address": address,
+            "level": level,
+            **self._shell_params(),
+        })
+        self.network.send(
+            self.coordinator_id,
+            self.parity_id(group, 0),
+            "recover",
+            {"address": address, "dead": dead},
+            size=HEADER_SIZE,
+        )
+        return True
+
+
+class _AllAddresses:
+    """Containment-only ``file.buckets`` view for parity buckets
+    hosted at a bucket site.  A gather skips group members with no
+    contributing rids before it ever consults membership, so claiming
+    every address exists is safe — and the site cannot know the true
+    global bucket set without a census."""
+
+    def __contains__(self, address: int) -> bool:
+        return True
 
 
 class BucketShellFile(ShellFile):
     """Bucket-side shell: exposes the hosted bucket for dumps."""
 
     @property
-    def buckets(self) -> dict[int, Any]:
+    def buckets(self):
+        if self.rs is not None:
+            return _AllAddresses()
         return self.local_buckets
 
 
@@ -266,15 +490,64 @@ class SiteNetwork:
 
     def send(self, src, dst, kind, payload=None, size=64,
              hops=0) -> Message:
+        """Bill, apply send-side faults, and route.
+
+        The fault points and their order are the simulator's exactly:
+        bill once at the declared size, then — for kinds the fault
+        model covers — draw loss, duplication, and (when corruption is
+        enabled) stamp a wire checksum and maybe flip one bit per
+        shipped copy.  A dropped message is billed but never routed,
+        so the census stays conserved (``sent`` only counts shipped
+        copies, each of which is eventually ``delivered`` somewhere).
+        """
         payload = payload or {}
         self.stats.record(kind, size)
         if self.observer is not None:
             self.observer.on_send(kind, size)
-        self.server.sent += 1
+        server = self.server
+        faults = server.faults
         message = Message(src=src, dst=dst, kind=kind,
                           payload=payload, size=size, hops=hops)
-        self.server.route(message)
-        return message
+        copies = 1
+        base_checksum = 0
+        eligible = (faults.applies(kind) if faults is not None
+                    else kind not in RELIABLE_KINDS)
+        if eligible and server.force_drops > 0:
+            server.force_drops -= 1
+            self.stats.dropped += 1
+            if self.observer is not None:
+                self.observer.on_drop(kind, size)
+            return message
+        if faults is not None and faults.applies(kind):
+            if faults.drops():
+                self.stats.dropped += 1
+                if self.observer is not None:
+                    self.observer.on_drop(kind, size)
+                return message
+            if faults.duplicates():
+                copies = 2
+            if faults.corruption_rate > 0:
+                base_checksum = wire_checksum(kind, payload, size)
+        first: Message | None = None
+        for copy in range(copies):
+            if copy:
+                self.stats.record(kind, size)
+                self.stats.duplicated += 1
+                if self.observer is not None:
+                    self.observer.on_send(kind, size)
+            checksum = base_checksum
+            if base_checksum and faults.corrupts():
+                checksum ^= 1 << faults.corrupt_bit()
+                if checksum == 0:
+                    checksum = 0xFFFFFFFF
+            shipped = Message(src=src, dst=dst, kind=kind,
+                              payload=payload, size=size, hops=hops,
+                              checksum=checksum)
+            server.sent += 1
+            server.route(shipped)
+            if first is None:
+                first = shipped
+        return first
 
     def schedule(self, delay: float, callback: Callable[[], None],
                  owner: Hashable | None = None) -> Timer:
@@ -311,6 +584,25 @@ class SiteServer:
         #: Conservation counters for the client's quiescence census.
         self.sent = 0
         self.delivered = 0
+        #: Fault state installed by the ctrl plane (``fault_set``,
+        #: ``partition``, ``delay``, ``drop``) — ``None`` until the
+        #: client enables fault injection.
+        self.faults: FaultModel | None = None
+        self._fault_seed: int | None = None
+        #: Directed ``(src, dst)`` node-id pairs whose delivery this
+        #: site refuses (billed as ``partitioned_drops``).
+        self.partitions: set[tuple] = set()
+        #: Extra seconds every locally sent data message is held
+        #: before routing (the live form of a latency spike).
+        self.delay_extra = 0.0
+        #: Deterministically drop the next N fault-eligible sends.
+        self.force_drops = 0
+        #: Frames destined for bucket sites beyond the current config
+        #: — parked until a ``config`` update provisions the site.
+        self._parked: dict[int, list[bytes]] = {}
+        #: LH*_RS layout per file name, learned from ``create_*``
+        #: payloads; needed to place parity ids on their host sites.
+        self.rs_params: dict[str, tuple[int, int]] = {}
         #: Registered client connections: node id -> StreamWriter.
         self.clients: dict[Hashable, asyncio.StreamWriter] = {}
         self._out: dict[tuple, asyncio.Queue] = {}
@@ -351,8 +643,30 @@ class SiteServer:
 
     # -- routing ---------------------------------------------------------
 
+    def _peer_of(self, dst: Hashable) -> tuple | None:
+        """Parity-aware :func:`peer_of`: resolve parity ids with the
+        file's registered group size."""
+        peer = peer_of(dst)
+        if (peer is None and isinstance(dst, tuple) and dst
+                and dst[0] == "parity" and len(dst) == 4):
+            rs = self.rs_params.get(dst[1])
+            if rs is not None:
+                peer = peer_of(dst, group_size=rs[0])
+        return peer
+
     def route(self, message: Message) -> None:
         """Ship one locally sent data message toward its host."""
+        if self.delay_extra > 0:
+            # Latency spike: hold the frame at the sender.  The census
+            # sees sent > delivered while held, so quiescence waits —
+            # the live analogue of an undelivered in-flight message.
+            assert self._loop is not None
+            self._loop.call_later(self.delay_extra, self._route_now,
+                                  message)
+            return
+        self._route_now(message)
+
+    def _route_now(self, message: Message) -> None:
         dst = message.dst
         if dst in self.network.nodes or self._locally_owned(dst):
             # Same-process delivery (possible for tombstone revivals);
@@ -371,21 +685,30 @@ class SiteServer:
             writer.write(wire.encode_frame(
                 wire.CHANNEL_DATA, wire.message_to_wire(message)))
             return
-        peer = peer_of(dst)
-        if peer is None or (peer[0] == "bucket"
-                            and peer[1] >= len(self.config.buckets)):
+        peer = self._peer_of(dst)
+        if peer is None:
             log.error("unroutable destination %r for kind %r", dst,
                       message.kind)
             self.network.stats.crashed_drops += 1
             self.delivered += 1
             return
-        self._peer_queue(peer).put_nowait(wire.encode_frame(
-            wire.CHANNEL_DATA, wire.message_to_wire(message)))
+        frame = wire.encode_frame(wire.CHANNEL_DATA,
+                                  wire.message_to_wire(message))
+        if peer[0] == "bucket" and peer[1] >= len(self.config.buckets):
+            # The file grew past the provisioned sites: park the frame
+            # and surface the gap through the census so the cluster
+            # can spawn the missing site and re-deliver.
+            self._parked.setdefault(peer[1], []).append(frame)
+            return
+        self._peer_queue(peer).put_nowait(frame)
 
     def send_ctrl(self, peer: tuple, payload: dict) -> None:
         """Fire-and-forget control message to another site."""
-        self._peer_queue(peer).put_nowait(
-            wire.encode_frame(wire.CHANNEL_CTRL, payload))
+        frame = wire.encode_frame(wire.CHANNEL_CTRL, payload)
+        if peer[0] == "bucket" and peer[1] >= len(self.config.buckets):
+            self._parked.setdefault(peer[1], []).append(frame)
+            return
+        self._peer_queue(peer).put_nowait(frame)
 
     def _peer_queue(self, peer: tuple) -> asyncio.Queue:
         queue = self._out.get(peer)
@@ -429,14 +752,33 @@ class SiteServer:
         if not isinstance(node_id, tuple) or not node_id:
             return False
         if self.role == "bucket":
-            return (node_id[0] == "bucket" and len(node_id) == 3
-                    and node_id[2] == self.index)
+            if (node_id[0] == "bucket" and len(node_id) == 3
+                    and node_id[2] == self.index):
+                return True
+            if node_id[0] == "parity" and len(node_id) == 4:
+                rs = self.rs_params.get(node_id[1])
+                if rs is None:
+                    # Placement is deterministic and the sender knew
+                    # the layout; a parity frame arriving here is ours
+                    # — buffer until ``create_parity`` lands.
+                    return True
+                return node_id[2] * rs[0] + node_id[3] == self.index
+            return False
         return node_id[0] == "coordinator"
 
     # -- delivery --------------------------------------------------------
 
     def deliver(self, message: Message) -> None:
+        """Delivery-side checks, in the simulator's exact order:
+        partition, crashed destination, then checksum verification."""
         dst = message.dst
+        if (message.src, dst) in self.partitions:
+            self.network.stats.partitioned_drops += 1
+            if self.network.observer is not None:
+                self.network.observer.on_drop(message.kind,
+                                              message.size)
+            self.delivered += 1
+            return
         if dst in self.crashed:
             # The frame crossed the wire and dies at the dead host's
             # door — billed exactly like the simulator.
@@ -455,6 +797,14 @@ class SiteServer:
                       message.kind, dst)
             self.delivered += 1
             return
+        if message.checksum and message.checksum != wire_checksum(
+                message.kind, message.payload, message.size):
+            self.network.stats.corrupted += 1
+            if self.network.observer is not None:
+                self.network.observer.on_drop(message.kind,
+                                              message.size)
+            self.delivered += 1
+            return
         self.delivered += 1
         if self.network.observer is not None:
             self.network.observer.on_deliver(message.kind,
@@ -469,6 +819,10 @@ class SiteServer:
 
     def _shell_file(self, payload: dict) -> ShellFile:
         name = payload["name"]
+        rs = payload.get("rs")
+        if rs:
+            self.rs_params[name] = (rs["group_size"],
+                                    rs["parity_count"])
         shell = self.files.get(name)
         if shell is None:
             cls = (BucketShellFile if self.role == "bucket"
@@ -482,6 +836,7 @@ class SiteServer:
                     "load_factor_threshold"],
                 merge_threshold=payload["merge_threshold"],
                 retry_policy=payload["retry_policy"],
+                rs=rs,
             )
             self.files[name] = shell
         return shell
@@ -513,23 +868,56 @@ class SiteServer:
             return self._ctrl_create_bucket(payload)
         if ctrl == "create_coordinator":
             return self._ctrl_create_coordinator(payload)
+        if ctrl == "create_parity":
+            return self._ctrl_create_parity(payload)
+        if ctrl == "create_spare":
+            return self._ctrl_create_spare(payload)
         if ctrl == "crash":
-            self.crashed.add(payload["node"])
-            return {}
+            node = payload["node"]
+            known = node in self.network.nodes
+            if known:
+                self.crashed.add(node)
+            return {"known": known}
         if ctrl == "restore":
             return self._ctrl_restore(payload["node"])
+        if ctrl == "fault_set":
+            return self._ctrl_fault_set(payload)
+        if ctrl == "partition":
+            self.partitions.update(
+                (link[0], link[1]) for link in payload["links"])
+            return {}
+        if ctrl == "heal":
+            if payload.get("all"):
+                self.partitions.clear()
+            else:
+                for link in payload["links"]:
+                    self.partitions.discard((link[0], link[1]))
+            return {}
+        if ctrl == "delay":
+            self.delay_extra = float(payload["extra"])
+            return {}
+        if ctrl == "drop":
+            self.force_drops += int(payload["count"])
+            return {}
+        if ctrl == "config":
+            return self._ctrl_config(payload)
         if ctrl == "census":
             return {
                 "sent": self.sent,
                 "delivered": self.delivered,
-                "buffered": sum(len(q) for q in
-                                self.buffered.values()),
+                "buffered": (sum(len(q) for q in
+                                 self.buffered.values())
+                             + sum(len(q) for q in
+                                   self._parked.values())),
                 "timers": self.armed_timers(),
                 "stats": self.network.stats.snapshot(),
                 "metrics": self.metrics.to_dict(),
+                "missing": sorted(self._parked),
             }
         if ctrl == "dump":
             return self._ctrl_dump(payload["name"])
+        if ctrl == "dump_parity":
+            return self._ctrl_dump_parity(payload["name"])
         if ctrl == "state":
             return self._ctrl_state(payload["name"])
         if ctrl == "shutdown":
@@ -558,6 +946,7 @@ class SiteServer:
             existing.level = payload["level"]
             existing.pending = payload["pending"]
             return {"revived": True}
+        shell.init_ranks(address)
         bucket = LHStarBucket(shell, address, payload["level"],
                               pending=payload["pending"])
         shell.local_buckets[address] = bucket
@@ -595,7 +984,90 @@ class SiteServer:
             self.deliver(message)
         return {}
 
+    def _ctrl_create_parity(self, payload: dict) -> dict:
+        from repro.sdds.lhstar_rs import ParityBucket
+
+        if self.role != "bucket":
+            raise ValueError("create_parity sent to the coordinator")
+        shell = self._shell_file(payload)
+        if shell.rs is None:
+            raise ValueError("create_parity for a plain LH* file")
+        group, index = payload["group"], payload["index"]
+        if group * shell.group_size + index != self.index:
+            raise ValueError(
+                f"parity ({group}, {index}) does not live on site "
+                f"{self.index}")
+        node_id = shell.parity_id(group, index)
+        if node_id in self.network.nodes:
+            return {"existed": True}
+        parity = ParityBucket(shell, group, index)
+        self.network.attach(parity)
+        for message in self.buffered.pop(node_id, []):
+            self.deliver(message)
+        return {}
+
+    def _ctrl_create_spare(self, payload: dict) -> dict:
+        """Replace a dead local bucket with a fresh pending spare
+        under the same network identity — the live, remote form of
+        ``LHStarFile.spawn_spare`` (unbilled, like the simulator's
+        direct method call).  Records are gone; rank tables persist so
+        the reconstruction can re-install without re-emitting parity."""
+        from repro.sdds.lhstar import LHStarBucket
+
+        if self.role != "bucket":
+            raise ValueError("create_spare sent to the coordinator")
+        address = payload["address"]
+        if address != self.index:
+            raise ValueError(
+                f"bucket {address} does not live on site {self.index}")
+        shell = self._shell_file(payload)
+        shell.init_ranks(address)
+        node_id = shell.bucket_id(address)
+        old = shell.local_buckets.get(address)
+        if node_id in self.network.nodes:
+            self.network.detach(node_id)
+        self.crashed.discard(node_id)
+        self._frozen.pop(node_id, None)
+        spare = LHStarBucket(shell, address, payload["level"],
+                             pending=True)
+        if old is not None:
+            spare.retired = old.retired
+            spare.merge_target = old.merge_target
+        shell.local_buckets[address] = spare
+        self.network.attach(spare)
+        for message in self.buffered.pop(node_id, []):
+            self.deliver(message)
+        return {}
+
+    def _ctrl_fault_set(self, payload: dict) -> dict:
+        """Install (or retune) this site's seeded fault model.  The
+        seed is salted per site so streams differ across processes but
+        stay deterministic per (cluster seed, site); retuning rates on
+        a live model preserves its stream, matching the nemesis
+        contract on the simulator."""
+        seed = payload["seed"]
+        if self.faults is None or self._fault_seed != seed:
+            salt = self.index + 1 if self.role == "bucket" else 0
+            self.faults = FaultModel(seed=seed * 1009 + salt)
+            self._fault_seed = seed
+        self.faults.loss_rate = payload["loss_rate"]
+        self.faults.duplication_rate = payload["duplication_rate"]
+        self.faults.corruption_rate = payload["corruption_rate"]
+        return {}
+
+    def _ctrl_config(self, payload: dict) -> dict:
+        """Adopt a grown cluster map and flush frames parked for the
+        newly provisioned sites, in FIFO order per site."""
+        self.config.buckets = list(payload["buckets"])
+        for index in sorted(self._parked):
+            if index >= len(self.config.buckets):
+                continue
+            for frame in self._parked.pop(index):
+                self._peer_queue(("bucket", index)).put_nowait(frame)
+        return {}
+
     def _ctrl_restore(self, node_id: Hashable) -> dict:
+        known = node_id in self.network.nodes
         was_crashed = node_id in self.crashed
         self.crashed.discard(node_id)
         for timer in self._frozen.pop(node_id, []):
@@ -605,7 +1077,7 @@ class SiteServer:
             # the outage fires right after the reboot.
             self._armed.add(timer)
             self._loop.call_later(0, self._fire, timer)
-        return {"was_crashed": was_crashed}
+        return {"known": known, "was_crashed": was_crashed}
 
     def _ctrl_dump(self, name: str) -> dict:
         shell = self.files.get(name)
@@ -620,6 +1092,26 @@ class SiteServer:
                                       key=lambda r: r.rid),
                 }
         return {"buckets": buckets}
+
+    def _ctrl_dump_parity(self, name: str) -> dict:
+        """Snapshot locally hosted parity buckets: per (group, index),
+        the slot table (rank -> payload, rids, lengths) — the raw
+        material for a client-side parity-consistency oracle."""
+        from repro.sdds.lhstar_rs import ParityBucket
+
+        shell = self.files.get(name)
+        slots: dict = {}
+        if shell is not None:
+            for node in self.network.nodes.values():
+                if (isinstance(node, ParityBucket)
+                        and node.file is shell):
+                    slots[(node.group, node.index)] = {
+                        rank: {"payload": slot.payload,
+                               "rids": list(slot.rids),
+                               "lengths": list(slot.lengths)}
+                        for rank, slot in node.slots.items()
+                    }
+        return {"slots": slots}
 
     def _ctrl_state(self, name: str) -> dict:
         node = self.network.nodes.get(("coordinator", name))

@@ -184,7 +184,14 @@ def _decode_from(buf: memoryview, pos: int) -> tuple[Any, int]:
         raw = bytes(buf[pos:pos + length])
         if len(raw) != length:
             raise WireDecodeError("truncated string/bytes body")
-        return (raw.decode("utf-8") if tag == 0x73 else raw), pos + length
+        if tag == 0x62:
+            return raw, pos + length
+        try:
+            return raw.decode("utf-8"), pos + length
+        except UnicodeDecodeError as error:
+            raise WireDecodeError(
+                f"invalid utf-8 in string: {error}"
+            ) from error
     if tag in (0x6C, 0x74, 0x53):       # l / t / S
         if pos + 4 > len(buf):
             raise WireDecodeError("truncated length")
@@ -197,7 +204,12 @@ def _decode_from(buf: memoryview, pos: int) -> tuple[Any, int]:
         if tag == 0x74:
             return tuple(items), pos
         if tag == 0x53:
-            return set(items), pos
+            try:
+                return set(items), pos
+            except TypeError as error:
+                raise WireDecodeError(
+                    f"unhashable set member: {error}"
+                ) from error
         return items, pos
     if tag == 0x64:                     # d
         if pos + 4 > len(buf):
@@ -208,7 +220,12 @@ def _decode_from(buf: memoryview, pos: int) -> tuple[Any, int]:
         for _ in range(count):
             key, pos = _decode_from(buf, pos)
             item, pos = _decode_from(buf, pos)
-            result[key] = item
+            try:
+                result[key] = item
+            except TypeError as error:
+                raise WireDecodeError(
+                    f"unhashable dict key: {error}"
+                ) from error
         return result, pos
     if tag == 0x4F:                     # O
         if pos >= len(buf):
@@ -219,7 +236,17 @@ def _decode_from(buf: memoryview, pos: int) -> tuple[Any, int]:
         if unpack is None:
             raise WireDecodeError(f"unknown wire type id {type_id}")
         fields, pos = _decode_from(buf, pos)
-        return unpack(fields), pos
+        try:
+            return unpack(fields), pos
+        except WireDecodeError:
+            raise
+        except Exception as error:
+            # Corrupted fields must surface as a decode error, not as
+            # whatever the type's constructor happens to throw.
+            raise WireDecodeError(
+                f"malformed fields for wire type id {type_id}: "
+                f"{error}"
+            ) from error
     raise WireDecodeError(f"unknown wire tag {tag:#x}")
 
 
@@ -270,6 +297,7 @@ def _build_registry() -> None:
     from repro.crypto.swp import Trapdoor
     from repro.net.faults import RetryPolicy
     from repro.net.stats import NetworkStats
+    from repro.sdds.lhstar import RidScanMatcher
     from repro.sdds.records import Record
 
     def pack_plan_matcher(m: PlanScanMatcher) -> tuple:
@@ -362,6 +390,9 @@ def _build_registry() -> None:
                                max_retries=f[2], jitter=f[3],
                                seed=f[4])),
         (13, NetworkStats, pack_stats, unpack_stats),
+        (14, RidScanMatcher,
+         lambda m: (),
+         lambda f: RidScanMatcher()),
     ]
     _TYPES = {cls: (type_id, pack, unpack)
               for type_id, cls, pack, unpack in table}

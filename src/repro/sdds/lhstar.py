@@ -68,6 +68,27 @@ MAX_ESCALATIONS = 3
 ScanMatcher = Callable[[Record], Any]
 
 
+class RidScanMatcher:
+    """Wire-encodable matcher returning every record's rid.
+
+    A plain lambda works for in-process scans, but the live backend
+    ships matchers to bucket processes by parameters (see the typed
+    protocol objects in :mod:`repro.net.wire`), so full-coverage
+    scans — the chaos runner's scan oracle — use this instead.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, record: Record) -> int:
+        return record.rid
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is RidScanMatcher
+
+    def __hash__(self) -> int:
+        return hash(RidScanMatcher)
+
+
 @dataclass
 class _PendingKeyed:
     """Client-side retransmission state of one keyed operation.
@@ -204,6 +225,7 @@ class LHStarBucket(Node):
             self._absorb_records(
                 message.payload["records"],
                 notify_overflow=(kind == "split_records"),
+                emit_parity=(kind == "split_records"),
             )
             if kind == "recover_install":
                 self.send(self.file.coordinator_id, "recover_done",
@@ -274,7 +296,8 @@ class LHStarBucket(Node):
             # recovering: absorbing again is idempotent (records
             # overwrite by rid); re-ack so the coordinator converges.
             self._absorb_records(message.payload["records"],
-                                 notify_overflow=False)
+                                 notify_overflow=False,
+                                 emit_parity=False)
             self.send(self.file.coordinator_id, "recover_done",
                       {"address": self.address}, size=HEADER_SIZE)
         elif kind == "group_fetch":
@@ -533,7 +556,10 @@ class LHStarBucket(Node):
             )
 
     def _absorb_records(
-        self, records: list[Record], notify_overflow: bool = True
+        self,
+        records: list[Record],
+        notify_overflow: bool = True,
+        emit_parity: bool = True,
     ) -> None:
         """Store shipped records, re-verifying each against the
         *current* level.
@@ -549,13 +575,22 @@ class LHStarBucket(Node):
         half-full buckets may exceed capacity, and splitting right
         back would thrash — the oversize drains through deletes or is
         resolved by the next genuine insert.
+
+        ``emit_parity`` is off on the recovery-install path: the spare
+        receives exactly the records the parity algebra already
+        accounts for, and re-registering them would XOR the same
+        contribution back out of the parity payloads (XOR is
+        self-inverse), silently corrupting the group.
         """
         misrouted: dict[int, list[Record]] = {}
         for record in records:
             target = forward_address(record.rid, self.address, self.level)
             if target is None:
+                old = self.records.get(record.rid)
                 self.records[record.rid] = record
                 self._invalidate_haystack()
+                if emit_parity:
+                    self.file.on_absorb(self.address, record, old)
             else:
                 misrouted.setdefault(target, []).append(record)
         for target, batch in misrouted.items():
@@ -1439,7 +1474,17 @@ class LHStarFile:
         self.record_count -= 1
 
     def on_move(self, old: int, new: int, record: Record) -> None:
-        """A record migrated during a split; parity layers react here."""
+        """A record left ``old`` toward ``new`` (split, merge or
+        misfit re-ship); parity layers release its source-side state
+        here.  The record still counts toward the file — arrival is
+        registered by :meth:`on_absorb` at the destination."""
+
+    def on_absorb(self, address: int, record: Record, old: Record | None) -> None:
+        """A shipped record was stored at ``address``; parity layers
+        register it here.  Split from :meth:`on_move` so that source
+        and destination bookkeeping can live on *different sites*:
+        the source releases, the destination assigns — neither needs
+        the other's rank tables."""
 
     # -- crash-recovery hooks (overridden by LH*_RS) ---------------------------
 

@@ -696,11 +696,25 @@ class LHStarRSFile(LHStarFile):
         self._send_delta(address, rank, None, record.content, 0)
 
     def on_move(self, old: int, new: int, record: Record) -> None:
+        """Source-side half of a migration: release the rank and
+        cancel the parity contribution.  A record merely *in transit*
+        through this address (a misfit re-ship that was never stored
+        here) has no rank and owes no delta.  The destination-side
+        half runs in :meth:`on_absorb` when the record is stored —
+        possibly on a different site."""
         super().on_move(old, new, record)
-        rank = self._release_rank(old, record.rid)
+        ranks = self._ranks.get(old)
+        rank = None if ranks is None else ranks.pop(record.rid, None)
+        if rank is None:
+            return
+        heapq.heappush(self._free_ranks[old], rank)
         self._send_delta(old, rank, None, record.content, 0)
-        new_rank = self._assign_rank(new, record.rid)
-        self._send_delta(new, new_rank, record.rid, record.content,
+
+    def on_absorb(self, address: int, record: Record, old: Record | None) -> None:
+        super().on_absorb(address, record, old)
+        rank = self._assign_rank(address, record.rid)
+        delta = _xor(record.content, old.content if old else b"")
+        self._send_delta(address, rank, record.rid, delta,
                          len(record.content))
 
     # -- online crash recovery (LHStarFile hooks) -----------------------------

@@ -220,36 +220,269 @@ class TestScopeGuards:
                     name="lf", network=cluster.connect(),
                     split_policy="load_factor",
                 )
-            network = cluster.connect()
-            with pytest.raises(LiveUnsupportedError):
-                network.partition(("bucket", "x", 0),
-                                  ("bucket", "x", 1))
 
-    def test_high_availability_store_is_rejected(self):
-        from repro.net.live import LiveCluster, LiveUnsupportedError
+    def test_high_availability_store_is_hosted(self):
+        """v2 lifts the v1 scope guard: LH*_RS parity buckets are
+        hosted by bucket processes, so the HA store just works."""
+        from repro.net.live import LiveCluster
 
-        with LiveCluster(buckets=2) as cluster:
-            with pytest.raises(LiveUnsupportedError):
-                EncryptedSearchableStore(
-                    SchemeParameters.full(4),
-                    network=cluster.connect(),
-                    high_availability=True,
-                    name="ha",
-                )
+        with LiveCluster(buckets=8) as cluster:
+            store = EncryptedSearchableStore(
+                SchemeParameters.full(4),
+                network=cluster.connect(),
+                high_availability=True,
+                name="ha",
+            )
+            store.put(1, "record number one alpha")
+            assert store.get(1) == "record number one alpha"
+            parity = cluster.connect().dump_parity(
+                store.record_file.name
+            )
+            assert parity, "no parity slots hosted anywhere"
 
-    def test_cluster_too_small_fails_loudly(self):
-        from repro.net.live import LiveBackendError, LiveCluster
+    def test_cluster_grows_on_demand(self):
+        """A split past the provisioned site count spawns a new site
+        process instead of dying with LiveBackendError (the v1
+        behaviour this replaces)."""
+        from repro.net.live import LiveCluster
         from repro.sdds.lhstar import LHStarFile
 
         with LiveCluster(buckets=1) as cluster:
-            network = cluster.connect(run_timeout=20.0)
+            network = cluster.connect(run_timeout=30.0)
             file = LHStarFile(
                 name="tiny", network=network, bucket_capacity=2,
-                retry_policy=RetryPolicy(timeout=0.05, max_retries=2),
+                retry_policy=RetryPolicy(timeout=0.2, max_retries=4),
             )
-            with pytest.raises(LiveBackendError):
-                for key in range(12):
-                    file.insert(key, b"x%d" % key)
+            for key in range(12):
+                file.insert(key, b"x%d" % key)
+            for key in range(12):
+                assert file.lookup(key) == b"x%d" % key
+            assert len(cluster.config.buckets) > 1
+            state = network.coordinator_state("tiny")
+            assert (1 << state["i"]) + state["n"] > 1
+
+
+class TestStartupHardening:
+    def test_try_ping_unreachable_port_is_false(self):
+        import socket as socket_module
+
+        from repro.net.live import LiveCluster
+
+        sock = socket_module.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        assert LiveCluster._try_ping("127.0.0.1", port) is False
+
+    def test_partial_startup_tears_down_spawned_processes(
+        self, monkeypatch
+    ):
+        """A failed startup must not leak orphan site processes: the
+        already-spawned ones are shut down before the error
+        propagates."""
+        from repro.net.live import LiveBackendError, LiveCluster
+
+        spawned = []
+        original_spawn = LiveCluster._spawn
+
+        def tracking_spawn(self, key, role, index):
+            original_spawn(self, key, role, index)
+            spawned.append(self._procs[key])
+
+        def failing_probe(self, key, deadline):
+            raise LiveBackendError("injected probe failure")
+
+        monkeypatch.setattr(LiveCluster, "_spawn", tracking_spawn)
+        monkeypatch.setattr(
+            LiveCluster, "_probe_ready", failing_probe
+        )
+        cluster = LiveCluster(buckets=2)
+        with pytest.raises(LiveBackendError,
+                           match="injected probe failure"):
+            cluster.start()
+        assert spawned, "startup never spawned anything"
+        for proc in spawned:
+            assert proc.poll() is not None, "orphan site process"
+        assert not cluster._procs
+
+
+@live
+class TestCrashRestoreSymmetry:
+    """crash() and restore() raise the same typed errors for the
+    same bad targets (the v1 asymmetry this PR fixes)."""
+
+    def test_typed_errors_match(self):
+        from repro.errors import UnknownNodeError
+        from repro.net.live import LiveCluster, LiveUnsupportedError
+
+        with LiveCluster(buckets=2) as cluster:
+            network = cluster.connect()
+            for verb in (network.crash, network.restore):
+                # A bucket address no site was provisioned for.
+                with pytest.raises(UnknownNodeError):
+                    verb(("bucket", "x", 99))
+                # An in-range site that has never heard of the node.
+                with pytest.raises(UnknownNodeError):
+                    verb(("bucket", "nofile", 0))
+                # Clients live in this process, not on a site.
+                with pytest.raises(LiveUnsupportedError):
+                    verb(("client", "x", 0))
+                # Opaque ids are not routable at all.
+                with pytest.raises(LiveUnsupportedError):
+                    verb("opaque")
+
+    def test_restore_reports_whether_it_was_crashed(self):
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=2) as cluster:
+            network = cluster.connect()
+            file = LHStarFile(name="rs", network=network,
+                              bucket_capacity=8)
+            file.insert(1, b"one")
+            target = file.bucket_id(0)
+            assert network.restore(target) is False
+            network.crash(target)
+            assert network.restore(target) is True
+
+
+@live
+class TestFaultInjection:
+    def test_seeded_loss_is_billed_and_survived(self):
+        """Ctrl-plane fault injection: seeded loss drops data-plane
+        messages inside the site processes, bills them as dropped,
+        and the client retry path still lands every operation."""
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=4) as cluster:
+            network = cluster.connect()
+            network.enable_faults(seed=7)
+            network.faults.loss_rate = 0.15
+            file = LHStarFile(
+                name="fz", network=network, bucket_capacity=4,
+                retry_policy=RetryPolicy(timeout=0.2, backoff=2.0,
+                                         max_retries=6),
+            )
+            for key in range(12):
+                file.insert(key, b"w%d" % key)
+            for key in range(12):
+                assert file.lookup(key) == b"w%d" % key
+            assert network.stats.dropped > 0
+            assert network.stats.retries > 0
+
+    def test_partition_and_heal(self):
+        """partition()/heal() land inside the bucket processes and
+        bill severed-link deliveries as partitioned_drops — the
+        simulator's semantics, over sockets."""
+        from repro.net.faults import RetryExhaustedError
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=2) as cluster:
+            network = cluster.connect()
+            file = LHStarFile(
+                name="pz", network=network, bucket_capacity=8,
+                retry_policy=RetryPolicy(timeout=0.1, max_retries=2),
+            )
+            file.insert(1, b"one")
+            network.partition(file.client_id(0), file.bucket_id(0))
+            assert network.is_partitioned(
+                file.client_id(0), file.bucket_id(0)
+            )
+            with pytest.raises(
+                (RetryExhaustedError, BucketUnavailableError)
+            ):
+                file.lookup(1)
+            assert network.stats.partitioned_drops > 0
+            network.heal()
+            assert file.lookup(1) == b"one"
+
+    def test_heal_argument_contract_matches_simulator(self):
+        from repro.net.live import LiveCluster
+
+        with LiveCluster(buckets=2) as cluster:
+            network = cluster.connect()
+            with pytest.raises(ValueError):
+                network.heal(("client", "x", 0))
+
+
+@live
+class TestLiveRecovery:
+    def test_group_member_crash_recovers_over_sockets(self):
+        """The tentpole acceptance: a live LH*_RS group survives a
+        member crash — suspect, probe, spare spawn, parity gather and
+        recover_install all run over TCP and are billed."""
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar_rs import LHStarRSFile
+
+        with LiveCluster(buckets=8) as cluster:
+            network = cluster.connect(run_timeout=30.0)
+            file = LHStarRSFile(
+                name="ha", network=network, bucket_capacity=4,
+                group_size=4, parity_count=2,
+                retry_policy=RetryPolicy(timeout=0.15, backoff=2.0,
+                                         max_retries=2),
+            )
+            for key in range(10):
+                file.insert(key, b"v%d" % key)
+            before = network.stats.snapshot()
+            network.crash(file.bucket_id(0))
+            # Reads against the dead bucket route degraded through
+            # the parity layer and trigger the recovery chain.
+            for key in range(10):
+                assert file.lookup(key) == b"v%d" % key
+            network.run()
+            state = network.coordinator_state("ha")
+            assert not state["dead"], state
+            delta = network.stats.snapshot().diff(before)
+            assert delta.by_kind["recover"] >= 1
+            assert delta.by_kind["group_fetch"] >= 1
+            assert delta.by_kind["recover_install"] >= 1
+            assert delta.by_kind["recover_done"] >= 1
+            # The respawned spare serves its key range again.
+            for key in range(10):
+                assert file.lookup(key) == b"v%d" % key
+
+
+@live
+class TestLiveChaos:
+    def test_seeded_episode_matches_simulator(self):
+        """The episode-level acceptance: a seeded chaos episode with
+        loss + partition + crash windows passes every invariant
+        oracle on the live backend and reports the same acked set
+        and search answers as the identically seeded simulator
+        episode."""
+        from dataclasses import replace
+
+        from repro.chaos.nemesis import NemesisProfile
+        from repro.chaos.runner import EpisodeConfig, run_episode
+
+        profile = NemesisProfile(
+            loss_rate=0.1, loss_windows=1,
+            duplication_rate=0.1, duplication_windows=1,
+            corruption_rate=0.1, corruption_windows=1,
+            latency_extra=0.005, latency_windows=1,
+            partition_windows=1, crash_windows=1,
+            window=0.4, horizon=2.5,
+        )
+        config = EpisodeConfig(
+            records=12, ops=30, backend="live", live_sites=12,
+            profile=profile,
+        )
+        live_report = run_episode(3, config)
+        sim_report = run_episode(
+            3, replace(config, backend="simulator")
+        )
+        assert live_report.ok, [
+            v.to_dict() for v in live_report.violations
+        ]
+        assert sim_report.ok
+        assert live_report.acked == sim_report.acked
+        assert live_report.searches == sim_report.searches
+        assert live_report.nemesis["applied"] == len(
+            live_report.events
+        )
 
 
 @live

@@ -400,6 +400,80 @@ class TestFraming:
             list(decoder.frames())
 
 
+# -- adversarial robustness --------------------------------------------------
+
+
+def _representative_frame() -> bytes:
+    """One frame exercising every codec layer: nested containers,
+    typed objects, bytes, and big ints."""
+    return encode_frame(CHANNEL_DATA, {
+        "kind": "insert",
+        "key": 2 ** 96 + 17,
+        "record": Record(rid=7, content=b"\x00\xffpayload"),
+        "policy": RetryPolicy(timeout=0.25, max_retries=3),
+        "nested": [None, True, {"deep": (b"\x01\x02",)}],
+    })
+
+
+class TestCodecRobustness:
+    """A hostile byte stream must never hang the decoder or escape as
+    anything but :class:`WireDecodeError` — truncation and corruption
+    are facts of life on the live transport's sockets."""
+
+    def test_every_body_truncation_decodes_or_raises_typed(self):
+        body = _representative_frame()[4:]
+        for cut in range(len(body)):
+            try:
+                decode_frame_body(body[:cut])
+            except WireDecodeError:
+                continue
+            pytest.fail(f"truncation at byte {cut} decoded a "
+                        "partial frame as complete")
+
+    def test_every_stream_truncation_buffers_or_raises_typed(self):
+        frame = _representative_frame()
+        stream = frame * 2
+        for cut in range(len(stream)):
+            decoder = FrameDecoder()
+            decoder.feed(stream[:cut])
+            try:
+                seen = list(decoder.frames())
+            except WireDecodeError:
+                continue
+            # Whole frames before the cut decode; the tail buffers.
+            assert len(seen) == cut // len(frame)
+
+    @given(st.data())
+    def test_byte_flips_decode_or_raise_typed(self, data):
+        body = bytearray(_representative_frame()[4:])
+        flips = data.draw(st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(body) - 1),
+                st.integers(min_value=1, max_value=255),
+            ),
+            min_size=1, max_size=8,
+        ))
+        for position, mask in flips:
+            body[position] ^= mask
+        try:
+            decode_frame_body(bytes(body))
+        except WireDecodeError:
+            pass
+
+    @given(st.binary(max_size=256))
+    def test_arbitrary_bytes_decode_or_raise_typed(self, junk):
+        try:
+            decode_frame_body(junk)
+        except WireDecodeError:
+            pass
+        decoder = FrameDecoder()
+        decoder.feed(junk)
+        try:
+            list(decoder.frames())
+        except WireDecodeError:
+            pass
+
+
 # -- the normative kind registry ---------------------------------------------
 
 
