@@ -160,6 +160,100 @@ def exp_live_availability() -> TableResult:
     return table
 
 
+#: (label, merge_pressure, join, leave, rejoin) window counts — the
+#: membership-event axis from off to heavy, over a shrinking file
+#: with softened message/crash faults riding along.
+ELASTICITY_LEVELS = [
+    ("off", 0, 0, 0, 0),
+    ("low", 1, 1, 1, 1),
+    ("heavy", 3, 2, 2, 2),
+]
+
+
+def make_elasticity_profile(merge_pressure, join, leave, rejoin):
+    return NemesisProfile(
+        loss_rate=0.05, loss_windows=1,
+        duplication_rate=0.02, duplication_windows=1,
+        corruption_rate=0.0, latency_windows=0,
+        partition_windows=1, crash_windows=1,
+        merge_pressure_windows=merge_pressure, join_windows=join,
+        leave_events=leave, rejoin_windows=rejoin,
+        window=0.6, horizon=2.5,
+    )
+
+
+def exp_elasticity_availability() -> TableResult:
+    """Availability during rebalance: the same seeded workload while
+    merge-pressure/join windows, graceful leaves and tombstone
+    crash+rejoin events reshape the file underneath it."""
+    table = TableResult(
+        title="Chaos elasticity: availability and rebalance traffic "
+              f"under membership events ({len(SEEDS)} seeds/cell)",
+        headers=["membership", "availability", "msgs/episode",
+                 "retries/episode", "merges", "leaves",
+                 "migrations", "crashes", "violations"],
+    )
+    for label, merge_pressure, join, leave, rejoin in \
+            ELASTICITY_LEVELS:
+        profile = make_elasticity_profile(
+            merge_pressure, join, leave, rejoin
+        )
+        config = EpisodeConfig(
+            records=12, ops=30, profile=profile,
+            shrink=True, merge_threshold=0.6,
+        )
+        total_ops = applied = messages = retries = 0
+        merges = leaves = migrations = crashes = violations = 0
+        for seed in SEEDS:
+            report = run_episode(seed, config=config)
+            total_ops += config.ops
+            applied += report.ops_applied
+            messages += report.stats["messages"]
+            retries += report.stats["retries"]
+            by_kind = report.stats["by_kind"]
+            merges += by_kind.get("merge", 0)
+            leaves += by_kind.get("leave", 0)
+            migrations += by_kind.get("recover_done", 0)
+            crashes += report.nemesis["crashes"]
+            violations += len(report.violations)
+        table.add_row(
+            label,
+            f"{applied / total_ops:.1%}",
+            messages // len(SEEDS),
+            retries // len(SEEDS),
+            merges,
+            leaves,
+            migrations,
+            crashes,
+            violations,
+        )
+    table.notes.append(
+        "All cells run shrinking files (merge_threshold=0.6) under "
+        "softened loss/duplication/partition/crash faults; the "
+        "membership axis adds merge-pressure and join windows, "
+        "graceful leaves and tombstone crash+rejoin.  'migrations' "
+        "counts recover_done acks (leave drains and crash "
+        "recoveries); 'violations' spans the full oracle battery — "
+        "including tombstone convergence, migration integrity and "
+        "post-heal level restoration — and must be 0 everywhere."
+    )
+    return table
+
+
+def test_chaos_elasticity_availability(benchmark, emit):
+    table = benchmark.pedantic(exp_elasticity_availability,
+                               rounds=1, iterations=1)
+    emit(table, "chaos_elasticity_availability")
+    rebalanced = 0
+    for row in table.rows:
+        assert row[-1] == "0", row
+        if row[0] != "off":
+            rebalanced += int(row[4]) + int(row[5])
+    # The membership windows must exercise real machinery: at least
+    # one merge or leave landed across the non-off cells.
+    assert rebalanced > 0, table.rows
+
+
 def test_chaos_live_availability(benchmark, emit):
     import os
 

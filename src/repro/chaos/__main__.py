@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--corruption-only", action="store_true",
                         help="corruption bursts only (no loss, "
                              "duplication, partitions, or crashes)")
+    parser.add_argument("--elasticity", action="store_true",
+                        help="compose membership events (merge-"
+                             "pressure and join windows, graceful "
+                             "leaves, tombstone crash+rejoin) over "
+                             "shrinking files, on top of softened "
+                             "message/crash faults")
     parser.add_argument("--max-shrink-evals", type=int, default=120,
                         help="replay budget for the shrinker")
     parser.add_argument("--backend", choices=("simulator", "live"),
@@ -78,10 +84,31 @@ def make_config(args: argparse.Namespace) -> EpisodeConfig:
             crash_windows=0,
             corruption_rate=0.3, corruption_windows=4,
         )
-    if args.backend == "live":
+    shrink = False
+    merge_threshold = 0.4
+    if args.elasticity:
+        # Membership chaos: soften the message/crash fault classes
+        # (the elasticity machinery itself is the stressor) and give
+        # the short merge-pressure windows a threshold they can
+        # actually push the file under.
+        shrink = True
+        merge_threshold = 0.6
+        profile = replace(
+            profile,
+            loss_rate=0.05, loss_windows=1,
+            duplication_rate=0.02, duplication_windows=1,
+            corruption_rate=0.0, latency_windows=0,
+            partition_windows=1, crash_windows=1,
+            merge_pressure_windows=2, join_windows=1,
+            leave_events=1, rejoin_windows=1,
+            window=0.6, horizon=2.5,
+        )
+    if args.backend == "live" and not args.elasticity:
         # Wall-clock horizons: the live cluster runs in real time, so
         # the default 40-simulated-second schedule would take 40 real
-        # seconds per episode.  Compress the windows instead.
+        # seconds per episode.  Compress the windows instead (the
+        # elasticity profile is already compact, and keeping it
+        # identical across backends preserves episode parity).
         profile = replace(
             profile, window=min(profile.window, 0.4),
             horizon=min(profile.horizon, 3.0),
@@ -89,6 +116,7 @@ def make_config(args: argparse.Namespace) -> EpisodeConfig:
     return EpisodeConfig(
         records=args.records, ops=args.ops, profile=profile,
         backend=args.backend, live_sites=args.live_sites,
+        shrink=shrink, merge_threshold=merge_threshold,
     )
 
 

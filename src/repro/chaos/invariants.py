@@ -23,6 +23,15 @@ fault model forces (operations whose retry budget died, tracked as
   (``verify_recovery``).
 * **heal convergence** — after the nemesis quiesces, no bucket stays
   declared dead (recovery completed and probes cleared the rest).
+* **tombstone convergence** — every retired bucket is empty and its
+  merge-target forwarding chain reaches a live bucket (membership
+  events leave no dangling redirects).
+* **migration integrity** — across merges, leaves and rejoins no
+  record is lost or duplicated: each acked rid sits in exactly one
+  live bucket.
+* **post-heal levels** — once healed, every live bucket's level
+  matches the LH* addressing formula for the coordinator's final
+  ``(i, n)``.
 """
 
 from __future__ import annotations
@@ -143,30 +152,37 @@ def check_scan_coverage(
 class LevelMonitor:
     """Tracks the coordinator's ``(i, n)`` state across the workload.
 
-    The LH* file level only grows under inserts; it steps back solely
-    through a merge, which only a delete-driven underflow triggers.
+    The LH* file level only grows under inserts.  Without shrink it
+    never steps back at all.  With shrink it steps back through
+    merges, which only delete-driven underflows make possible — but
+    the step lands asynchronously (underflows ride the network, and a
+    merge skipped for a dead bucket is re-attempted when liveness
+    changes), so after the first delete any decrease is legal.
     The runner feeds one ``observe`` per operation.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, shrink: bool = False) -> None:
         self.name = name
+        self.shrink = shrink
         self._last: tuple[int, int] | None = None
-        self._delete_since = True  # initial state is unconstrained
+        self._deleted_ever = False
         self.violations: list[Violation] = []
 
     def observe(self, state: tuple[int, int], deleted: bool) -> None:
+        if deleted:
+            self._deleted_ever = True
         if (
             self._last is not None
             and state < self._last
-            and not self._delete_since
+            and not (self.shrink and self._deleted_ever)
         ):
             self.violations.append(Violation(
                 "monotone-level",
-                f"{self.name} state {state} < {self._last} with no "
-                "delete in between",
+                f"{self.name} state {state} < {self._last} "
+                + ("with no delete yet" if self.shrink
+                   else "on a non-shrinking file"),
             ))
         self._last = state
-        self._delete_since = deleted
 
 
 def check_parity_consistency(file: Any) -> list[Violation]:
@@ -215,6 +231,134 @@ def check_heal_convergence_dead(
         "heal-convergence",
         f"{name} still has dead buckets {remaining} after heal",
     )]
+
+
+def dump_buckets_sim(file: Any) -> dict[int, dict]:
+    """Snapshot a simulator file's buckets in the shape of
+    ``LiveNetwork.dump_buckets`` so the elasticity oracles below run
+    identically on both backends."""
+    return {
+        address: {
+            "level": bucket.level,
+            "retired": bucket.retired,
+            "merge_target": bucket.merge_target,
+            "pending": bucket.pending,
+            "records": sorted(bucket.records.values(),
+                              key=lambda r: r.rid),
+        }
+        for address, bucket in file.buckets.items()
+    }
+
+
+def check_tombstone_convergence(
+    name: str, buckets: dict[int, dict]
+) -> list[Violation]:
+    """Every retired bucket is an empty tombstone whose merge-target
+    chain reaches a live bucket in finitely many hops — a stale
+    client image redirected through it always lands somewhere that
+    answers."""
+    violations = []
+    for address in sorted(buckets):
+        info = buckets[address]
+        if not info["retired"]:
+            continue
+        if info["records"]:
+            violations.append(Violation(
+                "tombstone-convergence",
+                f"{name} tombstone {address} still holds rids "
+                f"{sorted(r.rid for r in info['records'])}",
+            ))
+        target = info["merge_target"]
+        seen = {address}
+        while target is not None:
+            if target in seen or target not in buckets:
+                violations.append(Violation(
+                    "tombstone-convergence",
+                    f"{name} tombstone {address} forwards to "
+                    f"{target}, which is "
+                    + ("a redirect cycle" if target in seen
+                       else "not a known bucket"),
+                ))
+                break
+            seen.add(target)
+            follow = buckets[target]
+            if not follow["retired"]:
+                break
+            target = follow["merge_target"]
+        else:
+            violations.append(Violation(
+                "tombstone-convergence",
+                f"{name} tombstone {address} has no merge target",
+            ))
+    return violations
+
+
+def check_migration_integrity(
+    name: str, buckets: dict[int, dict],
+    acked: set[int], uncertain: set[int],
+) -> list[Violation]:
+    """No record lost or duplicated across membership events.
+
+    Reads the raw bucket dumps (not the keyed/scan paths, which have
+    their own oracles): every certainly acked rid must sit in exactly
+    one live bucket, and no rid — acked or not — may sit in more than
+    one.
+    """
+    holders: dict[int, list[int]] = {}
+    for address in sorted(buckets):
+        info = buckets[address]
+        if info["pending"]:
+            continue
+        for record in info["records"]:
+            holders.setdefault(record.rid, []).append(address)
+    violations = []
+    for rid in sorted(holders):
+        if len(holders[rid]) > 1:
+            violations.append(Violation(
+                "migration-integrity",
+                f"{name} rid {rid} duplicated across buckets "
+                f"{holders[rid]}",
+            ))
+    lost = sorted(rid for rid in acked - uncertain
+                  if rid not in holders)
+    if lost:
+        violations.append(Violation(
+            "migration-integrity",
+            f"{name} lost acked rids {lost} from every bucket",
+        ))
+    return violations
+
+
+def check_post_heal_levels(
+    name: str, state: tuple[int, int], buckets: dict[int, dict]
+) -> list[Violation]:
+    """After heal, live buckets carry the level LH* addressing
+    dictates for the final ``(i, n)`` — merges dropped the level back
+    exactly where membership says it belongs."""
+    from repro.sdds.lhstar import bucket_level
+
+    i, n = state
+    count = (1 << i) + n
+    violations = []
+    for address in sorted(buckets):
+        info = buckets[address]
+        if info["retired"] or info["pending"]:
+            continue
+        if address >= count:
+            violations.append(Violation(
+                "post-heal-levels",
+                f"{name} bucket {address} is live beyond the file "
+                f"extent {count}",
+            ))
+            continue
+        expected = bucket_level(address, i, n)
+        if info["level"] != expected:
+            violations.append(Violation(
+                "post-heal-levels",
+                f"{name} bucket {address} at level {info['level']}, "
+                f"addressing demands {expected} for (i={i}, n={n})",
+            ))
+    return violations
 
 
 def check_parity_consistency_live(

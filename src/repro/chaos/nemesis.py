@@ -27,6 +27,12 @@ Fault classes (the built-in actions):
     gating and restore-suppression semantics are reused verbatim: a
     vetoed crash (``Nemesis.gate``) also suppresses the restore.
 
+``merge_pressure`` / ``join`` / ``leave`` / ``rejoin``
+    Elasticity (membership) events, registered per episode by the
+    chaos runner: op-mix windows biased toward deletes or puts, an
+    instantaneous graceful site departure, and a crash+restore window
+    of a previously retired address.
+
 Custom actions register through :func:`register_action` — chaos tests
 use this to inject *sabotage* events (deliberate invariant breakage)
 that exercise the shrinker.
@@ -409,6 +415,16 @@ class NemesisProfile:
     latency_windows: int = 1
     partition_windows: int = 2
     crash_windows: int = 2
+    #: Elasticity events (all off by default so existing seeds and
+    #: their baselines are unchanged).  The runner registers the
+    #: matching actions per episode: ``merge_pressure`` and ``join``
+    #: are windows biasing the op mix toward deletes / puts,
+    #: ``leave`` is an instantaneous graceful departure, ``rejoin``
+    #: is a crash+restore window of a previously retired address.
+    merge_pressure_windows: int = 0
+    join_windows: int = 0
+    leave_events: int = 0
+    rejoin_windows: int = 0
     window: float = 1.5
     warmup: float = 0.0
     horizon: float = 40.0
@@ -471,6 +487,14 @@ def compose_schedule(
         for __ in range(profile.crash_windows):
             node = crash_targets[rng.randrange(len(crash_targets))]
             windows(1, "crash", {"node": _plain(node)})
+    windows(profile.merge_pressure_windows, "merge_pressure", {})
+    windows(profile.join_windows, "join", {})
+    for __ in range(profile.leave_events):
+        at = profile.warmup + rng.random() * (
+            profile.horizon - profile.warmup
+        )
+        events.append(FaultEvent(at=at, action="leave"))
+    windows(profile.rejoin_windows, "rejoin", {})
     events.sort(key=lambda e: (e.at, e.action))
     return events
 

@@ -31,6 +31,7 @@ schedule).
 from __future__ import annotations
 
 import json
+import math
 import random
 from dataclasses import asdict, dataclass, field, replace
 from typing import IO, Any
@@ -40,16 +41,21 @@ from repro.chaos.invariants import (
     Violation,
     check_durability,
     check_heal_convergence_dead,
+    check_migration_integrity,
     check_parity_consistency,
     check_parity_consistency_live,
+    check_post_heal_levels,
     check_scan_coverage,
     check_search_agreement,
+    check_tombstone_convergence,
+    dump_buckets_sim,
 )
 from repro.chaos.nemesis import (
     FaultEvent,
     Nemesis,
     NemesisProfile,
     compose_schedule,
+    register_action,
 )
 from repro.core import EncryptedSearchableStore, SchemeParameters
 from repro.errors import SDDSError
@@ -105,6 +111,13 @@ class EpisodeConfig:
     retry_max: int = 6
     retry_jitter: float = 0.5
     fast_path: bool = True
+    #: Shrinking files (delete-driven merges); required for episodes
+    #: whose profile schedules elasticity events.
+    shrink: bool = False
+    #: Load factor below which a shrinking file merges.  Elasticity
+    #: episodes raise this (0.6) so the short merge-pressure windows
+    #: actually push the file under it.
+    merge_threshold: float = 0.4
     profile: NemesisProfile = field(default_factory=NemesisProfile)
     #: ``"simulator"`` (default) or ``"live"`` — the live backend
     #: drives the identical seeded workload and nemesis schedule
@@ -195,6 +208,8 @@ def _build_store(
         group_size=config.group_size,
         parity_count=config.parity_count,
         fast_path=config.fast_path,
+        shrink=config.shrink,
+        merge_threshold=config.merge_threshold,
     )
 
 
@@ -222,6 +237,9 @@ class _SimulatorBackend:
         gates = (store.record_file.crash_gate(),
                  store.index_file.crash_gate())
         return lambda node_id: any(gate(node_id) for gate in gates)
+
+    def buckets(self, file: Any) -> dict[int, dict]:
+        return dump_buckets_sim(file)
 
     def parity_violations(self, file: Any) -> list[Violation]:
         return check_parity_consistency(file)
@@ -291,6 +309,9 @@ class _LiveBackend:
             return down + 1 <= parity_count
 
         return gate
+
+    def buckets(self, file: Any) -> dict[int, dict]:
+        return self.network.dump_buckets(file.name)
 
     def parity_violations(self, file: Any) -> list[Violation]:
         return check_parity_consistency_live(self.network, file)
@@ -450,36 +471,122 @@ def _run_episode_traced(
             partition_pairs=partition_pairs,
         )
 
+    # Elasticity actions.  Nemesis callbacks fire inside
+    # ``network.run`` at backend-specific virtual times — the live
+    # cluster's clock advances faster per op than the simulator's
+    # (census rounds consume virtual time) — so flag flips driven by
+    # the clock would land between *different ops* on the two
+    # backends and the op mixes would diverge.  Instead every
+    # elasticity event is mapped to the op index whose think-time
+    # tick covers its normalized schedule position, identical across
+    # backends by construction, and the actions are registered as
+    # no-ops so the nemesis still applies/expires them alongside the
+    # fault windows.  The op loop effects the mix biases and the
+    # membership events (leave, rejoin) between ops, at top level,
+    # where starting a migration cannot re-enter the event loop.
+    # ``register_action`` replaces prior registrations, so each
+    # episode's closures supersede the previous episode's.
+    for action in ("merge_pressure", "join", "leave", "rejoin"):
+        register_action(action, lambda *__: None, lambda *__: None)
+
+    tick = config.profile.horizon * 1.1 / max(config.ops, 1)
+
+    def _op_of(at: float) -> int:
+        """The op whose draw first happens after schedule time ``at``
+        (ops past the end collapse onto ``config.ops``: the post-loop
+        drain)."""
+        return min(config.ops,
+                   max(0, math.ceil((at - start) / tick) - 1))
+
+    mix_plan = [[0, 0] for _ in range(config.ops + 1)]
+    membership_plan: dict[int, list[str]] = {}
+    for event in events:
+        if event.action in ("merge_pressure", "join"):
+            slot = 0 if event.action == "merge_pressure" else 1
+            until = _op_of(event.at + (event.duration or 0.0))
+            for op in range(_op_of(event.at), until):
+                mix_plan[op][slot] += 1
+        elif event.action == "leave":
+            membership_plan.setdefault(
+                _op_of(event.at), []).append("leave")
+        elif event.action == "rejoin":
+            membership_plan.setdefault(
+                _op_of(event.at), []).append("rejoin_down")
+            membership_plan.setdefault(
+                _op_of(event.at + (event.duration or 0.0)), []
+            ).append("rejoin_up")
+
+    rejoin_down: list[Any] = []
+
+    def _apply_membership(op: int) -> None:
+        """Perform the membership events planned for op ``op``."""
+        file = chaos.record_file
+        for kind in membership_plan.pop(op, ()):
+            if kind == "leave":
+                i, n = backend.state(file)
+                count = (1 << i) + n
+                address = count - 1
+                if count <= 1 or address in backend.dead(file):
+                    continue
+                try:
+                    file.leave(address)
+                except SDDSError:
+                    pass  # refused or drowned out; chaos moves on
+            elif kind == "rejoin_down":
+                dump = backend.buckets(file)
+                retired = [a for a, info in dump.items()
+                           if info["retired"]]
+                if not retired:
+                    continue
+                node = file.bucket_id(max(retired))
+                if chaos_net.is_crashed(node):
+                    continue
+                chaos_net.crash(node)
+                rejoin_down.append(node)
+            elif kind == "rejoin_up" and rejoin_down:
+                chaos_net.restore(rejoin_down.pop(0))
+
     nemesis = Nemesis(events)
     backend.refresh(chaos)
     nemesis.gate = backend.make_gate(chaos, config)
     nemesis.attach(chaos_net)
 
     monitors = (
-        LevelMonitor(chaos.record_file.name),
-        LevelMonitor(chaos.index_file.name),
+        LevelMonitor(chaos.record_file.name, shrink=config.shrink),
+        LevelMonitor(chaos.index_file.name, shrink=config.shrink),
     )
 
     # 2. The op mix.  The think-time tick walks the clock across the
     # whole schedule horizon even when every op is fast, so no window
     # silently expires unexercised.
-    tick = config.profile.horizon * 1.1 / max(config.ops, 1)
     ops_applied = 0
     ops_failed = 0
-    for __ in range(config.ops):
+    for op_index in range(config.ops):
         chaos_net.schedule(tick, lambda: None)
         chaos_net.run()
+        _apply_membership(op_index)
         draw = rng.random()
         rid = rng.randrange(1, config.records + 1)
         deleted = False
+        # Elasticity windows bias the op mix: merge-pressure toward
+        # deletes (driving underflows and merges), join toward puts
+        # (driving splits).  One rng draw either way, so seeds without
+        # elasticity windows consume the identical stream.
+        merge_pressure, join = mix_plan[op_index]
+        if merge_pressure > 0:
+            put_cut, get_cut, search_cut = 0.15, 0.35, 0.50
+        elif join > 0:
+            put_cut, get_cut, search_cut = 0.70, 0.85, 0.95
+        else:
+            put_cut, get_cut, search_cut = 0.35, 0.65, 0.90
         try:
-            if draw < 0.35:
+            if draw < put_cut:
                 text = NAME_POOL[rng.randrange(len(NAME_POOL))]
                 chaos.put(rid, text)
                 twin.put(rid, text)
                 model[rid] = text
                 uncertain.discard(rid)
-            elif draw < 0.65:
+            elif draw < get_cut:
                 got = chaos.get(rid)
                 if rid not in uncertain:
                     expected = model.get(rid)
@@ -489,7 +596,7 @@ def _run_episode_traced(
                             f"mid-run get({rid}) = {got!r}, acked "
                             f"{expected!r}",
                         ))
-            elif draw < 0.90:
+            elif draw < search_cut:
                 pattern = PATTERNS[rng.randrange(len(PATTERNS))]
                 result = chaos.search(pattern)
                 violations.extend(check_search_agreement(
@@ -508,7 +615,7 @@ def _run_episode_traced(
             # changes nothing; a failed write leaves the rid's fate
             # unknown until a later acked op settles it.
             ops_failed += 1
-            if draw < 0.35 or deleted:
+            if draw < put_cut or deleted:
                 uncertain.add(rid)
                 model.pop(rid, None)
         except RuntimeError as error:
@@ -521,8 +628,13 @@ def _run_episode_traced(
         ):
             monitor.observe(backend.state(file), deleted)
 
-    # 3. Heal and settle.
+    # 3. Heal and settle.  Quiescing closes any still-open elasticity
+    # windows, so drain their queued membership events (pending
+    # rejoin restores, late leaves) before the convergence rounds.
     nemesis.quiesce(chaos_net)
+    _apply_membership(config.ops)
+    while rejoin_down:
+        chaos_net.restore(rejoin_down.pop(0))
     chaos_net.run()
     _converge(chaos, chaos_net, backend)
 
@@ -552,6 +664,22 @@ def _run_episode_traced(
     violations.extend(check_scan_coverage(chaos, model, uncertain))
     violations.extend(backend.parity_violations(chaos.record_file))
     violations.extend(backend.parity_violations(chaos.index_file))
+    # Elasticity oracles: tombstone forwarding converges, membership
+    # events lose/duplicate nothing, levels match the healed (i, n).
+    # The record file's rids are the store's rids; the index file's
+    # keys are derived (several per rid), so it only gets the
+    # duplication half of the migration check.
+    for file, acked_rids in (
+        (chaos.record_file, set(model)),
+        (chaos.index_file, set()),
+    ):
+        dump = backend.buckets(file)
+        violations.extend(
+            check_tombstone_convergence(file.name, dump))
+        violations.extend(check_migration_integrity(
+            file.name, dump, acked_rids, uncertain))
+        violations.extend(check_post_heal_levels(
+            file.name, backend.state(file), dump))
 
     stats = chaos_net.stats
     return EpisodeReport(
@@ -569,6 +697,7 @@ def _run_episode_traced(
             "crashed_drops": stats.crashed_drops,
             "partitioned_drops": stats.partitioned_drops,
             "corrupted": stats.corrupted,
+            "by_kind": dict(stats.by_kind),
         },
         ops_applied=ops_applied,
         ops_failed=ops_failed,

@@ -153,6 +153,8 @@ class EncryptedSearchableStore:
         group_size: int = 4,
         parity_count: int = 2,
         fast_path: bool = True,
+        shrink: bool = False,
+        merge_threshold: float = 0.4,
     ) -> None:
         self.params = params
         # ``fast_path=False`` pins the reference per-chunk codec — the
@@ -170,12 +172,18 @@ class EncryptedSearchableStore:
         # paper's m and k): with HA on, up to ``parity_count`` crashed
         # buckets per group keep every get and search answerable.
         file_type = LHStarRSFile if high_availability else LHStarFile
-        file_kwargs: dict = {}
+        # ``shrink`` makes both files merge back when deletes empty
+        # them (the membership/elasticity story rides on the same
+        # flag on either backend).
+        file_kwargs: dict = {
+            "shrink": shrink,
+            "merge_threshold": merge_threshold,
+        }
         if high_availability:
-            file_kwargs = {
-                "group_size": group_size,
-                "parity_count": parity_count,
-            }
+            file_kwargs.update(
+                group_size=group_size,
+                parity_count=parity_count,
+            )
         self.record_file: LHStarFile = file_type(
             name=f"{name}-store",
             network=self.network,

@@ -54,6 +54,8 @@ RELIABLE_KINDS = frozenset({
     "merge_records",
     "overflow",
     "underflow",
+    "load",
+    "leave",
     "parity_delta",
     # Crash-fault protocol traffic (detection, recovery, degraded
     # reads): server-to-server / client-to-coordinator control flows

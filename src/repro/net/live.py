@@ -20,16 +20,21 @@ sites' :class:`~repro.net.stats.NetworkStats` deltas into the local
 works exactly like the simulator: every message is billed once, at
 its sender's site, at its declared size.
 
-Scope (v2): plain :class:`~repro.sdds.lhstar.LHStarFile` *and*
+Scope (v3): plain :class:`~repro.sdds.lhstar.LHStarFile` *and*
 :class:`~repro.sdds.lhstar_rs.LHStarRSFile` (parity buckets hosted on
-bucket sites, recovery over TCP) with ``split_policy="uncontrolled"``
-and ``shrink=False``; crash/restore of hosted nodes; seeded fault
-injection (loss, duplication, corruption, latency spikes, partitions)
-installed on every site through unbilled control verbs — see
-:meth:`LiveNetwork.enable_faults` — so the chaos nemesis drives real
-processes; elastic growth (a split past the provisioned site count
-spawns a new site process on demand).  Unsupported configurations
-still raise :class:`LiveUnsupportedError` at attach time.
+bucket sites, recovery over TCP) with every split policy and with
+``shrink=True`` (merges, retired tombstones and level drops flow over
+the billed data plane); graceful site leave with online bucket
+migration (:meth:`LiveNetwork.site_leave`) and tombstone reaping
+(:meth:`LiveNetwork.decommission` plus
+:meth:`LiveCluster.reap_site`); crash/restore of hosted nodes; seeded
+fault injection (loss, duplication, corruption, latency spikes,
+partitions) installed on every site through unbilled control verbs —
+see :meth:`LiveNetwork.enable_faults` — so the chaos nemesis drives
+real processes; elastic growth (a split past the provisioned site
+count spawns a new site process on demand).  The remaining
+out-of-scope configurations raise :class:`LiveUnsupportedError` at
+attach time with the texts in :data:`UNSUPPORTED_SCOPE`.
 
 >>> # quickstart (see docs/SERVING.md):
 >>> # with LiveCluster(buckets=4) as cluster:
@@ -73,8 +78,26 @@ class LiveBackendError(ReproError, RuntimeError):
 
 class LiveUnsupportedError(LiveBackendError):
     """The requested configuration or operation is outside the live
-    backend's scope (shrink, load-factor splitting, exotic node
-    families, ...)."""
+    backend's scope (exotic node families, unroutable destinations,
+    unsupported parity placement)."""
+
+
+#: The remaining out-of-scope configurations (v3).  Each value is the
+#: static tail of the :class:`LiveUnsupportedError` message raised at
+#: the matching attach-time guard; the docs-reference test asserts
+#: every one of them appears verbatim in docs/SERVING.md so the
+#: documented scope and the raised messages cannot drift apart.
+UNSUPPORTED_SCOPE = {
+    "bucket_family": ("buckets are not hosted by the live backend "
+                      "(plain LH* buckets only)"),
+    "node_family": "is not hosted by the live backend",
+    "file_family": ("needs node families the live backend does "
+                    "not host"),
+    "parity_placement": ("the live backend places parity "
+                         "(group, index) on bucket site "
+                         "group*group_size+index, which needs "
+                         "parity_count <= group_size"),
+}
 
 
 #: How long ``LiveNetwork.run`` may chase quiescence before giving up.
@@ -213,6 +236,13 @@ class LiveNetwork:
         self._crashed: set[Hashable] = set()
         #: Last stats snapshot census saw per site, for delta merging.
         self._site_baseline: dict[tuple, NetworkStats] = {}
+        #: Bucket addresses whose sites were decommissioned (reaped):
+        #: never redialed, and shipping to one fails fast.  Their
+        #: final conservation counters are folded into the offsets
+        #: below so the cluster census stays balanced without them.
+        self._reaped: set[int] = set()
+        self._reaped_sent = 0
+        self._reaped_delivered = 0
         self._conns: dict[tuple, _Conn] = {}
         self._closed = False
         for index in range(len(config.buckets)):
@@ -327,6 +357,8 @@ class LiveNetwork:
         this network has no connection to yet — the cluster may have
         grown underneath us, possibly via another client."""
         for index in range(len(self.config.buckets)):
+            if index in self._reaped:
+                continue
             self._connect_peer(("bucket", index))
 
     @staticmethod
@@ -355,10 +387,7 @@ class LiveNetwork:
             return
         if file.parity_count > file.group_size:
             raise LiveUnsupportedError(
-                "the live backend places parity (group, index) on "
-                "bucket site group*group_size+index, which needs "
-                "parity_count <= group_size"
-            )
+                UNSUPPORTED_SCOPE["parity_placement"])
         self._rs_params[file.name] = (file.group_size,
                                       file.parity_count)
 
@@ -385,9 +414,8 @@ class LiveNetwork:
         if family == "bucket":
             if type(node) is not LHStarBucket:
                 raise LiveUnsupportedError(
-                    f"{type(node).__name__} buckets are not hosted by "
-                    "the live backend (plain LH* buckets only)"
-                )
+                    f"{type(node).__name__} "
+                    f"{UNSUPPORTED_SCOPE['bucket_family']}")
             file = node.file
             self._register_rs(file)
             self._ensure_site(node.address + 1)
@@ -404,9 +432,8 @@ class LiveNetwork:
         if family == "parity":
             if type(node) is not ParityBucket:
                 raise LiveUnsupportedError(
-                    f"{type(node).__name__} is not hosted by the live "
-                    "backend"
-                )
+                    f"{type(node).__name__} "
+                    f"{UNSUPPORTED_SCOPE['node_family']}")
             file = node.file
             self._register_rs(file)
             site = node.group * file.group_size + node.index
@@ -423,24 +450,13 @@ class LiveNetwork:
         if family == "coordinator":
             if type(node) is not LHStarCoordinator:
                 raise LiveUnsupportedError(
-                    f"{type(node).__name__} is not hosted by the live "
-                    "backend"
-                )
+                    f"{type(node).__name__} "
+                    f"{UNSUPPORTED_SCOPE['node_family']}")
             file = node.file
             if type(file) not in (LHStarFile, LHStarRSFile):
                 raise LiveUnsupportedError(
-                    f"{type(file).__name__} needs node families the "
-                    "live backend does not host"
-                )
-            if file.split_policy != "uncontrolled":
-                raise LiveUnsupportedError(
-                    "the live backend supports "
-                    "split_policy='uncontrolled' only"
-                )
-            if file.shrink:
-                raise LiveUnsupportedError(
-                    "the live backend does not support file shrinking"
-                )
+                    f"{type(file).__name__} "
+                    f"{UNSUPPORTED_SCOPE['file_family']}")
             self._register_rs(file)
             self._roundtrip(("coordinator",), {
                 "ctrl": "create_coordinator",
@@ -450,8 +466,8 @@ class LiveNetwork:
             self._shadows.add(node_id)
             return node
         raise LiveUnsupportedError(
-            f"node family {family!r} is not hosted by the live backend"
-        )
+            f"node family {family!r} "
+            f"{UNSUPPORTED_SCOPE['node_family']}")
 
     def detach(self, node_id: Hashable) -> None:
         if node_id in self.nodes:
@@ -607,20 +623,28 @@ class LiveNetwork:
         return first
 
     def _ship(self, message: Message) -> None:
-        self._sent += 1
         dst = message.dst
         if dst in self.nodes:
+            self._sent += 1
             self._inbox.append(message)
             return
         peer = self._peer_of(dst)
         if peer is None:
             raise LiveUnsupportedError(
                 f"cannot route to node family of {dst!r}")
+        if peer[0] == "bucket" and peer[1] in self._reaped:
+            raise LiveBackendError(
+                f"bucket address {peer[1]} was decommissioned")
         if peer[0] == "bucket" and peer[1] >= len(self.config.buckets):
             # A keyed operation can outrun the coordinator's split
             # traffic to an address no site hosts yet: grow first.
             self._ensure_site(peer[1] + 1)
         conn = self._connect_peer(peer)
+        # Counted only once the message is committed to a socket
+        # buffer: a raise above means it was billed but never shipped,
+        # and the conservation census must not wait for a delivery
+        # that can never happen.
+        self._sent += 1
         conn.outbuf += wire.encode_frame(
             wire.CHANNEL_DATA, wire.message_to_wire(message))
 
@@ -809,8 +833,8 @@ class LiveNetwork:
         Returns ``(quiescent, totals)``; ``totals`` feeds the
         two-identical-rounds rule in :meth:`run`."""
         self._sync_conns()
-        sent = self._sent
-        delivered = self.delivered
+        sent = self._sent + self._reaped_sent
+        delivered = self.delivered + self._reaped_delivered
         buffered = 0
         timers = 0 if self._next_timer_due() is None else 1
         missing: set[int] = set()
@@ -872,6 +896,56 @@ class LiveNetwork:
     def coordinator_state(self, name: str) -> dict:
         return self._roundtrip(("coordinator",), {"ctrl": "state",
                                                   "name": name})
+
+    # -- elasticity: graceful leave and tombstone reaping -----------------
+
+    def site_leave(self, name: str, address: int) -> bool:
+        """Start a graceful departure of bucket ``address`` of file
+        ``name``: an unbilled control verb asks the hosted coordinator
+        to run its ``begin_leave``, and the drain itself (``leave``
+        trigger, whole-bucket ``recover_install``, ``recover_done``)
+        rides the billed data plane.  Returns whether the departure
+        started (``False`` when the coordinator refused, e.g. the
+        bucket is dead or already being probed)."""
+        reply = self._roundtrip(("coordinator",), {
+            "ctrl": "leave", "name": name, "address": address})
+        return bool(reply["started"])
+
+    def decommission(self, name: str, address: int) -> None:
+        """Reap the retired (tombstone) bucket ``address`` of file
+        ``name`` after its image catch-up window.
+
+        The hosting site detaches the node (refusing unless it is a
+        record-free tombstone); when that leaves the site with no
+        hosted nodes at all, this network takes a final stats census
+        from it, closes the connection and never redials — the
+        process can then be retired via
+        :meth:`LiveCluster.reap_site`.  Growing the file back onto a
+        reaped address is out of scope: do not decommission addresses
+        future growth will re-reach (see docs/SERVING.md)."""
+        if not 0 <= address < len(self.config.buckets):
+            raise ValueError(
+                f"no site hosts bucket address {address}")
+        key = ("bucket", address)
+        self._connect_peer(key)
+        reply = self._roundtrip(key, {
+            "ctrl": "decommission", "name": name, "address": address})
+        if not reply["empty"]:
+            return
+        # Merge the site's outstanding billing and conservation
+        # counters before abandoning it (the census must keep
+        # balancing without this site's row).
+        census = self._roundtrip(key, {"ctrl": "census"})
+        self._merge_site_stats(key, census["stats"])
+        self._reaped_sent += census["sent"]
+        self._reaped_delivered += census["delivered"]
+        conn = self._conns.pop(key)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._site_baseline.pop(key, None)
+        self._reaped.add(address)
 
     # -- run to quiescence -----------------------------------------------
 
@@ -1128,6 +1202,34 @@ class LiveCluster:
 
     def log_paths(self) -> dict[tuple, Path]:
         return dict(self._logs)
+
+    def reap_site(self, index: int) -> None:
+        """Retire the bucket-site process at ``index`` after its last
+        hosted node was decommissioned: graceful ctrl shutdown over a
+        throwaway connection, then wait (kill on timeout).  Idempotent
+        — reaping an unknown or already-reaped index is a no-op.  The
+        address stays in the cluster config so the remaining site
+        indices keep their meaning; regrowth onto a reaped address is
+        out of scope (see docs/SERVING.md)."""
+        key = ("bucket", index)
+        proc = self._procs.pop(key, None)
+        if proc is None:
+            return
+        if proc.poll() is None:
+            try:
+                assert self.config is not None
+                sock = socket.create_connection(
+                    self.config.peer_address(key), timeout=2.0)
+                sock.sendall(wire.encode_frame(
+                    wire.CHANNEL_CTRL, {"ctrl": "shutdown"}))
+                sock.close()
+            except OSError:
+                pass
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
 
     def shutdown(self) -> None:
         for network in self._networks:

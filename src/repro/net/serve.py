@@ -42,6 +42,16 @@ TCP, billed), and elastic growth: a frame for a bucket address beyond
 the provisioned site count is *parked* and reported in the census so
 the cluster can spawn the missing site and re-deliver (``config``).
 
+v3 additions: elasticity in both directions.  Shrinking files and
+controlled split policies are hosted (buckets of load-tracking files
+report ``load``/``underflow`` deltas so the remote coordinator's
+global record count stays exact), merges retire live tombstones whose
+``merge_records`` shipments ride the billed data plane, a ``leave``
+control verb triggers the coordinator's graceful-departure drain, and
+a ``decommission`` control verb reaps an empty tombstone after its
+image catch-up window (reporting when the site has no hosted nodes
+left, so the whole process can be retired).
+
 See ``docs/SERVING.md`` for the topology and wire format.
 """
 
@@ -166,6 +176,11 @@ class ShellFile:
         self.load_factor_threshold = load_factor_threshold
         self.merge_threshold = merge_threshold
         self.retry_policy = retry_policy
+        #: Derived exactly like ``LHStarFile.tracks_load``: buckets of
+        #: tracking files report net-new stores (``load``) and deletes
+        #: (``underflow``) so the remote coordinator's global record
+        #: count stays exact without reading bucket contents.
+        self.tracks_load = shrink or split_policy == "load_factor"
         self.record_count = 0
         #: LH*_RS parameters (``{"group_size": m, "parity_count": k}``)
         #: or ``None`` for plain LH*.  When set, locally hosted data
@@ -450,6 +465,36 @@ class BucketShellFile(ShellFile):
         if self.rs is not None:
             return _AllAddresses()
         return self.local_buckets
+
+    def spawn_spare(self, address: int, level: int) -> None:
+        """Swap the locally hosted bucket for a fresh pending spare
+        under the same network identity — invoked by the bucket itself
+        during a graceful ``leave`` drain, unbilled like the
+        simulator's direct method call.  Rank tables and the retired /
+        merge-target flags persist across the swap, so the in-flight
+        ``recover_install`` shipment re-installs without re-emitting
+        parity."""
+        from repro.sdds.lhstar import LHStarBucket
+
+        if address != self.server.index:
+            raise ValueError(
+                f"bucket {address} does not live on site "
+                f"{self.server.index}")
+        self.init_ranks(address)
+        node_id = self.bucket_id(address)
+        old = self.local_buckets.get(address)
+        if node_id in self.network.nodes:
+            self.network.detach(node_id)
+        self.server.crashed.discard(node_id)
+        self.server._frozen.pop(node_id, None)
+        spare = LHStarBucket(self, address, level, pending=True)
+        if old is not None:
+            spare.retired = old.retired
+            spare.merge_target = old.merge_target
+        self.local_buckets[address] = spare
+        self.network.attach(spare)
+        for message in self.server.buffered.pop(node_id, []):
+            self.server.deliver(message)
 
 
 # ---------------------------------------------------------------------------
@@ -872,6 +917,10 @@ class SiteServer:
             return self._ctrl_create_parity(payload)
         if ctrl == "create_spare":
             return self._ctrl_create_spare(payload)
+        if ctrl == "leave":
+            return self._ctrl_leave(payload)
+        if ctrl == "decommission":
+            return self._ctrl_decommission(payload)
         if ctrl == "crash":
             node = payload["node"]
             known = node in self.network.nodes
@@ -963,16 +1012,6 @@ class SiteServer:
         if self.role != "coordinator":
             raise ValueError(
                 "create_coordinator sent to a bucket site")
-        if payload["split_policy"] != "uncontrolled":
-            raise ValueError(
-                "live backend v1 supports split_policy='uncontrolled' "
-                "only (load-factor splitting needs a global record "
-                "count the census does not aggregate)"
-            )
-        if payload["shrink"]:
-            raise ValueError(
-                "live backend v1 does not support file shrinking"
-            )
         shell = self._shell_file(payload)
         node_id = shell.coordinator_id
         if node_id in self.network.nodes:
@@ -1012,32 +1051,56 @@ class SiteServer:
         ``LHStarFile.spawn_spare`` (unbilled, like the simulator's
         direct method call).  Records are gone; rank tables persist so
         the reconstruction can re-install without re-emitting parity."""
-        from repro.sdds.lhstar import LHStarBucket
-
         if self.role != "bucket":
             raise ValueError("create_spare sent to the coordinator")
-        address = payload["address"]
-        if address != self.index:
-            raise ValueError(
-                f"bucket {address} does not live on site {self.index}")
         shell = self._shell_file(payload)
-        shell.init_ranks(address)
-        node_id = shell.bucket_id(address)
-        old = shell.local_buckets.get(address)
-        if node_id in self.network.nodes:
-            self.network.detach(node_id)
+        shell.spawn_spare(payload["address"], payload["level"])
+        return {}
+
+    def _ctrl_leave(self, payload: dict) -> dict:
+        """Trigger a graceful departure of bucket ``address``: the
+        hosted coordinator runs its ordinary ``begin_leave`` and the
+        drain itself (``leave`` trigger, ``recover_install`` shipment,
+        ``recover_done`` ack) flows over the billed data plane."""
+        if self.role != "coordinator":
+            raise ValueError("leave sent to a bucket site")
+        node = self.network.nodes.get(
+            ("coordinator", payload["name"]))
+        if node is None:
+            raise ValueError(
+                f"no coordinator for file {payload['name']!r}")
+        return {"started": node.begin_leave(payload["address"])}
+
+    def _ctrl_decommission(self, payload: dict) -> dict:
+        """Reap a retired (tombstone) bucket after its image catch-up
+        window: detach the node and forget it.  Refuses while the
+        tombstone still holds records or was never retired — reaping a
+        live bucket would lose data.  Reports whether the site hosts
+        any remaining nodes so the caller can retire the whole
+        process."""
+        if self.role != "bucket":
+            raise ValueError("decommission sent to the coordinator")
+        shell = self.files.get(payload["name"])
+        address = payload["address"]
+        bucket = (None if shell is None
+                  else shell.local_buckets.get(address))
+        if bucket is None:
+            raise ValueError(
+                f"no bucket {address} to decommission on site "
+                f"{self.index}")
+        if not bucket.retired:
+            raise ValueError(
+                f"bucket {address} is not retired; only tombstones "
+                "can be decommissioned")
+        if bucket.records:
+            raise ValueError(
+                f"tombstone {address} still holds records")
+        node_id = bucket.node_id
+        self.network.detach(node_id)
         self.crashed.discard(node_id)
         self._frozen.pop(node_id, None)
-        spare = LHStarBucket(shell, address, payload["level"],
-                             pending=True)
-        if old is not None:
-            spare.retired = old.retired
-            spare.merge_target = old.merge_target
-        shell.local_buckets[address] = spare
-        self.network.attach(spare)
-        for message in self.buffered.pop(node_id, []):
-            self.deliver(message)
-        return {}
+        del shell.local_buckets[address]
+        return {"empty": not self.network.nodes}
 
     def _ctrl_fault_set(self, payload: dict) -> dict:
         """Install (or retune) this site's seeded fault model.  The
@@ -1087,6 +1150,7 @@ class SiteServer:
                 buckets[address] = {
                     "level": bucket.level,
                     "retired": bucket.retired,
+                    "merge_target": bucket.merge_target,
                     "pending": bucket.pending,
                     "records": sorted(bucket.records.values(),
                                       key=lambda r: r.rid),

@@ -546,8 +546,11 @@ MESSAGE_KINDS: tuple[KindSpec, ...] = (
     KindSpec("scan_reply", "bucket", "client",
              ("op", "address", "level", "hits", "forwarded"),
              "H + Σ hit wire_size"),
-    KindSpec("overflow", "bucket", "coordinator", ("address",), "H"),
+    KindSpec("overflow", "bucket", "coordinator",
+             ("address", "delta"), "H"),
     KindSpec("underflow", "bucket", "coordinator", ("address",), "H"),
+    KindSpec("load", "bucket", "coordinator",
+             ("address", "delta"), "H"),
     KindSpec("split", "coordinator", "bucket",
              ("new_address", "new_level"), "H"),
     KindSpec("split_records", "bucket", "bucket",
@@ -556,6 +559,7 @@ MESSAGE_KINDS: tuple[KindSpec, ...] = (
              ("target", "level"), "H"),
     KindSpec("merge_records", "bucket", "bucket",
              ("records", "level"), "H + Σ R(record)"),
+    KindSpec("leave", "coordinator", "bucket", ("address",), "H"),
     KindSpec("probe", "coordinator", "bucket", ("address",), "H"),
     KindSpec("probe_ack", "bucket", "coordinator", ("address",), "H"),
     KindSpec("suspect", "client | parity", "coordinator",
@@ -570,7 +574,8 @@ MESSAGE_KINDS: tuple[KindSpec, ...] = (
              ("address",), "H"),
     KindSpec("recover", "coordinator", "parity",
              ("address", "dead"), "H"),
-    KindSpec("recover_install", "parity", "bucket (spare)",
+    KindSpec("recover_install", "parity | bucket (leave drain)",
+             "bucket (spare)",
              ("records",), "H + Σ R(record)"),
     KindSpec("recover_done", "bucket", "coordinator",
              ("address",), "H"),

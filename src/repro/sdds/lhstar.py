@@ -291,6 +291,8 @@ class LHStarBucket(Node):
             self._handle_merge(message)
         elif kind == "merge_records":
             self._handle_merge_records(message)
+        elif kind == "leave":
+            self._handle_leave(message)
         elif kind == "recover_install":
             # Redelivered install for a bucket that already finished
             # recovering: absorbing again is idempotent (records
@@ -380,7 +382,18 @@ class LHStarBucket(Node):
             self.send(
                 self.file.coordinator_id,
                 "overflow",
-                {"address": self.address},
+                {"address": self.address,
+                 "delta": 1 if old is None else 0},
+                size=HEADER_SIZE,
+            )
+        elif self.file.tracks_load and old is None:
+            # Load-tracking files report every net-new record so the
+            # coordinator's global count stays exact even when it runs
+            # in another process and cannot read bucket contents.
+            self.send(
+                self.file.coordinator_id,
+                "load",
+                {"address": self.address, "delta": 1},
                 size=HEADER_SIZE,
             )
 
@@ -410,7 +423,7 @@ class LHStarBucket(Node):
         )
         if removed is not None:
             self.file.on_remove(self.address, removed)
-            if self.file.shrink:
+            if self.file.tracks_load:
                 self.send(
                     self.file.coordinator_id,
                     "underflow",
@@ -548,10 +561,12 @@ class LHStarBucket(Node):
             size=HEADER_SIZE + sum(r.wire_size for r in moving),
         )
         if len(self.records) > self.file.bucket_capacity:
+            # Split and absorb notifications move records between
+            # buckets without changing the file-wide count: delta 0.
             self.send(
                 self.file.coordinator_id,
                 "overflow",
-                {"address": self.address},
+                {"address": self.address, "delta": 0},
                 size=HEADER_SIZE,
             )
 
@@ -606,7 +621,7 @@ class LHStarBucket(Node):
             self.send(
                 self.file.coordinator_id,
                 "overflow",
-                {"address": self.address},
+                {"address": self.address, "delta": 0},
                 size=HEADER_SIZE,
             )
 
@@ -638,6 +653,28 @@ class LHStarBucket(Node):
         self._absorb_records(message.payload["records"],
                              notify_overflow=False)
 
+    # -- graceful leave -----------------------------------------------------
+
+    def _handle_leave(self, message: Message) -> None:
+        """Graceful site departure: ship the whole bucket to the
+        replacement spare that takes over this network identity.
+
+        The shipment is a ``recover_install`` addressed to *our own*
+        bucket id: by the time it is delivered, the spare spawned
+        below owns the id, installs without re-emitting parity (the
+        rank tables and parity contributions migrate untouched with
+        the address), and acks ``recover_done`` to the coordinator —
+        the same convergence path as crash recovery, minus the
+        reconstruction."""
+        moving = list(self.records.values())
+        self.send(
+            self.file.bucket_id(self.address),
+            "recover_install",
+            {"records": moving},
+            size=HEADER_SIZE + sum(r.wire_size for r in moving),
+        )
+        self.file.spawn_spare(self.address, self.level)
+
 
 class LHStarCoordinator(Node):
     """The split coordinator: authoritative ``(i, n)``, split policy.
@@ -667,8 +704,23 @@ class LHStarCoordinator(Node):
         #: Dead buckets whose reconstruction is in flight.
         self.recovering: set[int] = set()
         self._probes: dict[int, Timer] = {}
+        #: Operator-initiated leaves awaiting their recover_done ack:
+        #: address -> retransmissions so far.  Each entry owns a timer
+        #: in ``_leave_timers`` re-sending the trigger on the client
+        #: retry schedule, because a bucket that crashed before the
+        #: trigger landed is never suspected — degraded reads route
+        #: around it — so no probe would revive the drain.
+        self._leaving: dict[int, int] = {}
+        self._leave_timers: dict[int, Timer] = {}
         #: Clients to notify when an address changes liveness state.
         self._reporters: dict[int, set[Hashable]] = {}
+        #: Global record count, maintained from bucket notifications
+        #: ("load"/"underflow" and the delta field on "overflow") when
+        #: the file tracks load.  Splits and merges move records
+        #: without changing the global count, so this stays exact —
+        #: and works identically when the coordinator is a remote
+        #: process that cannot read ``file.record_count``.
+        self.records_reported = 0
 
     @property
     def bucket_count(self) -> int:
@@ -676,12 +728,19 @@ class LHStarCoordinator(Node):
 
     def _load_factor(self) -> float:
         capacity = self.bucket_count * self.file.bucket_capacity
+        if self.file.tracks_load:
+            return self.records_reported / capacity
         return self.file.record_count / capacity
 
     def handle(self, message: Message) -> None:
         kind = message.kind
         if kind == "underflow":
-            self._maybe_merge()
+            self.records_reported -= 1
+            if self.file.shrink:
+                self._maybe_merge()
+            return
+        if kind == "load":
+            self.records_reported += message.payload["delta"]
             return
         if kind == "suspect":
             self._handle_suspect(message.payload)
@@ -699,6 +758,7 @@ class LHStarCoordinator(Node):
             raise ValueError(
                 f"coordinator: unknown message kind {kind!r}"
             )
+        self.records_reported += message.payload.get("delta", 0)
         if self.file.split_policy == "load_factor":
             # Gate, don't force: an overflow only earns a split when
             # the file as a whole is loaded — a hot bucket alone is
@@ -754,6 +814,17 @@ class LHStarCoordinator(Node):
     def _probe_timeout(self, address: int) -> None:
         """No probe_ack in time: declare the bucket dead."""
         self._probes.pop(address, None)
+        if address >= self.bucket_count:
+            # The address was merged away while the probe was in
+            # flight: it is a tombstone now, not a member, so it has
+            # no level and nothing to recover.  Tell the reporters to
+            # re-route — while the tombstone is down their retries
+            # are bounded by their own budgets, and its restore (or a
+            # sync of their images) unblocks the key range.
+            for reporter in self._reporters.pop(address, ()):
+                self.send(reporter, "bucket_up",
+                          {"address": address}, size=HEADER_SIZE)
+            return
         if address not in self.dead:
             level = bucket_level(address, self.i, self.n)
             recoverable = self.file.begin_recovery(address, level)
@@ -782,6 +853,11 @@ class LHStarCoordinator(Node):
         for reporter in self._reporters.pop(address, ()):
             self.send(reporter, "bucket_up", {"address": address},
                       size=HEADER_SIZE)
+        if self.file.shrink:
+            # A merge skipped because this bucket was dead is never
+            # re-triggered by traffic (underflows only fire on
+            # deletes): re-evaluate now that liveness changed.
+            self._maybe_merge()
 
     def _handle_await_recovery(self, payload: dict[str, Any]) -> None:
         """A client parked an update on a dead bucket; subscribe it
@@ -797,6 +873,14 @@ class LHStarCoordinator(Node):
 
     def _handle_recover_done(self, payload: dict[str, Any]) -> None:
         address = payload["address"]
+        # A graceful leave's drain acks with recover_done too, and on
+        # plain LH* the address was never marked dead-recovering: stop
+        # the leave retransmissions *before* the duplicate-ack check,
+        # or every retry would re-drain the whole bucket.
+        self._leaving.pop(address, None)
+        leave_timer = self._leave_timers.pop(address, None)
+        if leave_timer is not None:
+            leave_timer.cancel()
         if address not in self.recovering:
             return  # duplicate ack from a redelivered install
         self.recovering.discard(address)
@@ -808,6 +892,88 @@ class LHStarCoordinator(Node):
         for reporter in self._reporters.pop(address, ()):
             self.send(reporter, "bucket_recovered",
                       {"address": address}, size=HEADER_SIZE)
+        if self.file.shrink:
+            # Same re-attempt as on bucket_up: a merge the dead bucket
+            # blocked becomes possible the moment recovery completes.
+            self._maybe_merge()
+
+    # -- graceful leave ------------------------------------------------------
+
+    def begin_leave(self, address: int) -> bool:
+        """Operator-triggered graceful departure of bucket ``address``.
+
+        Returns whether a migration started.  Addresses that are out
+        of range (including retired tombstones), already dead, or
+        under probe are refused — leave is for live members only.
+        Files with a degraded-read target (LH*_RS) mark the address
+        dead-recovering so keyed reads and scans route around the
+        migration through the parity layer (they cost more, never
+        error); plain LH* relies on the spare's buffering — the drain
+        window is a single shipment.
+        """
+        if not 0 <= address < self.bucket_count:
+            return False
+        if (address in self.dead or address in self._probes
+                or address in self._leaving):
+            return False
+        self._leaving[address] = 0
+        level = bucket_level(address, self.i, self.n)
+        if self.file.degraded_read_target(address) is not None:
+            self.dead[address] = (level, True)
+            self.recovering.add(address)
+            payload = self._down_payload(address)
+            for reporter in self._reporters.get(address, ()):
+                self.send(reporter, "bucket_down", payload,
+                          size=HEADER_SIZE)
+        obs_emit("lh.leave", file=self.file.name, bucket=address,
+                 level=level)
+        metric_inc("lh.leave")
+        self.send(self.file.bucket_id(address), "leave",
+                  {"address": address}, size=HEADER_SIZE)
+        self._arm_leave_retry(address)
+        return True
+
+    def _arm_leave_retry(self, address: int) -> None:
+        policy = self.file.retry_policy or DEFAULT_RETRY_POLICY
+        # Deterministic backoff, never policy.delay(): that draws from
+        # the policy's shared jitter stream, and the coordinator may
+        # be a remote process with its own policy instance — a draw
+        # here would desynchronise the clients' retry schedules
+        # between the simulator and the live backend.
+        delay = policy.timeout * policy.backoff ** self._leaving[address]
+        self._leave_timers[address] = self.network.schedule(
+            delay,
+            lambda: self._leave_retry(address),
+            owner=self.node_id,
+        )
+
+    def _leave_retry(self, address: int) -> None:
+        """No recover_done yet: retransmit the leave trigger.
+
+        After ``max_retries`` unanswered triggers the departing
+        bucket is taken as crashed before the drain began.  Files
+        with parity fall back to reconstruction — it rebuilds the
+        records onto the spare without the bucket's cooperation —
+        and plain LH* abandons the leave (its records are frozen
+        in the crashed process, exactly as for any other crash).
+        """
+        self._leave_timers.pop(address, None)
+        if address not in self._leaving:
+            return
+        policy = self.file.retry_policy or DEFAULT_RETRY_POLICY
+        self._leaving[address] += 1
+        if self._leaving[address] <= policy.max_retries:
+            self.send(self.file.bucket_id(address), "leave",
+                      {"address": address}, size=HEADER_SIZE)
+            self._arm_leave_retry(address)
+            return
+        del self._leaving[address]
+        obs_emit("lh.leave_stalled", file=self.file.name,
+                 bucket=address)
+        metric_inc("lh.leave_stalled")
+        if address in self.recovering:
+            level = self.dead[address][0]
+            self.file.begin_recovery(address, level)
 
     def _maybe_merge(self) -> None:
         """Shrink by one bucket when the file runs too empty.
@@ -1401,6 +1567,13 @@ class LHStarFile:
         self.load_factor_threshold = load_factor_threshold
         self.shrink = shrink
         self.merge_threshold = merge_threshold
+        #: Whether buckets report per-record load changes ("load" /
+        #: "underflow" messages and a delta field on "overflow") to
+        #: the coordinator.  Both shrink decisions and load-factor
+        #: split gating need an exact global record count at the
+        #: coordinator; counting from billed messages makes that work
+        #: identically when the coordinator is a remote process.
+        self.tracks_load = shrink or split_policy == "load_factor"
         self.buckets: dict[int, LHStarBucket] = {}
         self.coordinator = LHStarCoordinator(self)
         self.network.attach(self.coordinator)
@@ -1444,6 +1617,63 @@ class LHStarFile:
     def retire_bucket(self, address: int) -> None:
         """Bookkeeping hook when a merge retires a bucket (overridden
         by the parity layer)."""
+
+    def decommission_bucket(self, address: int) -> None:
+        """Reap a retired tombstone after its image catch-up window:
+        detach the node, so the address stops existing on the network.
+
+        Refused while the bucket is live or still holds records.  An
+        unbilled operator action (like crash/restore); call
+        :meth:`sync_client_images` first — tombstone redirects carry
+        no IAM, so client images never catch up with a shrink on
+        their own, and a keyed operation aimed at a reaped address
+        has nowhere to go.  On the live backend the hosting process
+        is reaped through the ``decommission`` control verb.
+        """
+        decommission = getattr(self.network, "decommission", None)
+        if decommission is not None:
+            decommission(self.name, address)
+            return
+        bucket = self.buckets.get(address)
+        if bucket is None:
+            raise ValueError(f"no bucket {address} to decommission")
+        if not bucket.retired:
+            raise ValueError(
+                f"bucket {address} is not retired; only tombstones "
+                "can be decommissioned")
+        if bucket.records:
+            raise ValueError(f"tombstone {address} still holds records")
+        self.network.detach(bucket.node_id)
+        del self.buckets[address]
+
+    def sync_client_images(self) -> None:
+        """Clamp every local client's private image to the
+        authoritative ``(i, n)`` — the operator-side image catch-up
+        that precedes :meth:`decommission_bucket`."""
+        state = getattr(self.network, "coordinator_state", None)
+        if state is not None:
+            snap = state(self.name)
+            i, n = snap["i"], snap["n"]
+        else:
+            i, n = self.coordinator.i, self.coordinator.n
+        for client in self.clients:
+            client.i_image, client.n_image = i, n
+
+    def leave(self, address: int) -> bool:
+        """Gracefully migrate bucket ``address`` onto a fresh spare
+        under the same network identity, online.
+
+        The trigger is an unbilled operator action (like
+        crash/restore); the migration itself is billed protocol
+        traffic.  Returns whether a migration started (live,
+        non-dead, in-range addresses only)."""
+        site_leave = getattr(self.network, "site_leave", None)
+        if site_leave is not None:
+            started = site_leave(self.name, address)
+        else:
+            started = self.coordinator.begin_leave(address)
+        self.network.run()
+        return bool(started)
 
     @property
     def live_bucket_count(self) -> int:

@@ -100,6 +100,7 @@ class TestReportFormat:
         assert set(episode["stats"]) == {
             "messages", "bytes", "dropped", "duplicated", "retries",
             "crashed_drops", "partitioned_drops", "corrupted",
+            "by_kind",
         }
         assert len(lines) == 1 + len(report.spans)
 

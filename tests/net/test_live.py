@@ -54,6 +54,35 @@ def run_episode(network):
     return fetched, sorted(result.matches), network.stats.snapshot()
 
 
+def run_shrink_episode(network):
+    """A grow-then-shrink episode: splits force the file out, deletes
+    force merges (tombstones, merge shipments, level drops) back over
+    the data plane, and the survivors must still answer."""
+    from repro.sdds.lhstar import LHStarFile
+
+    file = LHStarFile(
+        name="shr", network=network, bucket_capacity=4, shrink=True
+    )
+    for key in range(12):
+        file.insert(key, b"s%d" % key)
+    for key in range(8):
+        file.delete(key)
+    network.run()
+    answers = tuple(file.lookup(key) for key in range(12))
+    return answers, network.stats.snapshot()
+
+
+def dump_either(network, file):
+    """Bucket dump in the ``LiveNetwork.dump_buckets`` shape on
+    either backend."""
+    dump = getattr(network, "dump_buckets", None)
+    if dump is not None:
+        return dump(file.name)
+    from repro.chaos.invariants import dump_buckets_sim
+
+    return dump_buckets_sim(file)
+
+
 class TestClusterConfig:
     def test_roundtrip(self, tmp_path):
         config = ClusterConfig("127.0.0.1", 9000, [9001, 9002])
@@ -206,19 +235,46 @@ class TestCrashSemantics:
 
 @live
 class TestScopeGuards:
-    def test_unsupported_configurations_raise(self):
-        from repro.net.live import LiveCluster, LiveUnsupportedError
+    def test_v3_hosts_shrink_and_load_factor_policies(self):
+        """v3 lifts the last v2 fences: a shrinking file and a
+        load-factor split policy attach and serve over sockets
+        instead of raising LiveUnsupportedError."""
+        from repro.net.live import LiveCluster
         from repro.sdds.lhstar import LHStarFile
 
-        with LiveCluster(buckets=2) as cluster:
+        with LiveCluster(buckets=4) as cluster:
+            network = cluster.connect()
+            shrinking = LHStarFile(
+                name="sh", network=network, bucket_capacity=4,
+                shrink=True,
+            )
+            for key in range(12):
+                shrinking.insert(key, b"s%d" % key)
+            for key in range(8):
+                shrinking.delete(key)
+            network.run()
+            assert shrinking.lookup(8) == b"s8"
+            assert shrinking.lookup(0) is None
+            assert network.stats.by_kind["merge"] > 0
+            controlled = LHStarFile(
+                name="lf", network=network, bucket_capacity=4,
+                split_policy="load_factor",
+            )
+            for key in range(8):
+                controlled.insert(key, b"c%d" % key)
+            assert controlled.lookup(3) == b"c3"
+
+    def test_remaining_scope_raises(self):
+        """The one attach-time fence left in v3: parity placement
+        needs parity_count <= group_size."""
+        from repro.net.live import LiveCluster, LiveUnsupportedError
+        from repro.sdds.lhstar_rs import LHStarRSFile
+
+        with LiveCluster(buckets=4) as cluster:
             with pytest.raises(LiveUnsupportedError):
-                LHStarFile(
-                    name="sh", network=cluster.connect(), shrink=True
-                )
-            with pytest.raises(LiveUnsupportedError):
-                LHStarFile(
-                    name="lf", network=cluster.connect(),
-                    split_policy="load_factor",
+                LHStarRSFile(
+                    name="pp", network=cluster.connect(),
+                    group_size=2, parity_count=3,
                 )
 
     def test_high_availability_store_is_hosted(self):
@@ -483,6 +539,275 @@ class TestLiveChaos:
         assert live_report.nemesis["applied"] == len(
             live_report.events
         )
+
+    def test_elasticity_episode_matches_simulator(self):
+        """Membership chaos parity: merge-pressure/join windows, a
+        graceful leave and a tombstone crash+rejoin composed with
+        loss, duplication, a partition and a crash window — the live
+        episode must pass every invariant oracle and report the same
+        acked set and search answers as the seeded simulator twin."""
+        from dataclasses import replace
+
+        from repro.chaos.nemesis import NemesisProfile
+        from repro.chaos.runner import EpisodeConfig, run_episode
+
+        profile = NemesisProfile(
+            loss_rate=0.05, loss_windows=1,
+            duplication_rate=0.02, duplication_windows=1,
+            corruption_rate=0.0, latency_windows=0,
+            partition_windows=1, crash_windows=1,
+            merge_pressure_windows=2, join_windows=1,
+            leave_events=1, rejoin_windows=1,
+            window=0.6, horizon=2.5,
+        )
+        config = EpisodeConfig(
+            records=12, ops=30, backend="live", live_sites=12,
+            profile=profile, shrink=True, merge_threshold=0.6,
+        )
+        live_report = run_episode(3, config)
+        sim_report = run_episode(
+            3, replace(config, backend="simulator")
+        )
+        assert live_report.ok, [
+            v.to_dict() for v in live_report.violations
+        ]
+        assert sim_report.ok
+        assert live_report.acked == sim_report.acked
+        assert live_report.searches == sim_report.searches
+
+
+@live
+class TestLiveElasticity:
+    """The v3 tentpole over real processes: shrink parity, graceful
+    leave, tombstone reaping, and crash+rejoin of retired
+    addresses."""
+
+    def test_shrink_episode_bills_identical_bytes(self, tmp_path):
+        """The ISSUE acceptance criterion for shrink: a seeded
+        grow-then-shrink episode produces identical answers and
+        identical billed wire bytes on both backends — merges,
+        tombstones and level drops are billed protocol traffic."""
+        from repro.net.live import LiveCluster
+
+        sim_answers, stats_s = run_shrink_episode(Network())
+        with LiveCluster(
+            buckets=EPISODE_SITES, log_dir=tmp_path
+        ) as cluster:
+            live_answers, stats_l = run_shrink_episode(
+                cluster.connect()
+            )
+        assert live_answers == sim_answers
+        assert stats_s.by_kind["merge"] > 0
+        assert stats_s.by_kind["merge_records"] > 0
+        assert stats_l == stats_s
+
+    def test_graceful_leave_migrates_online(self):
+        """Graceful site leave: the drained bucket's records move to
+        a fresh spare under the same identity over billed traffic,
+        and keyed reads never error during or after the
+        migration."""
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=8) as cluster:
+            network = cluster.connect()
+            file = LHStarFile(
+                name="lv", network=network, bucket_capacity=4,
+            )
+            for key in range(12):
+                file.insert(key, b"m%d" % key)
+            state = network.coordinator_state("lv")
+            address = (1 << state["i"]) + state["n"] - 1
+            before = network.stats.snapshot()
+            assert file.leave(address) is True
+            delta = network.stats.snapshot().diff(before)
+            assert delta.by_kind["leave"] >= 1
+            assert delta.by_kind["recover_install"] >= 1
+            assert delta.by_kind["recover_done"] >= 1
+            for key in range(12):
+                assert file.lookup(key) == b"m%d" % key
+            state = network.coordinator_state("lv")
+            assert not state["dead"]
+
+    def test_decommission_and_reap_tombstones(self):
+        """After merges leave tombstones and the operator syncs
+        client images, the tombstones can be decommissioned and
+        their site processes reaped; the survivors keep serving and
+        routing to a reaped address is a typed error."""
+        from repro.net.live import LiveBackendError, LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=8) as cluster:
+            network = cluster.connect()
+            file = LHStarFile(
+                name="rp", network=network, bucket_capacity=4,
+                shrink=True,
+            )
+            for key in range(12):
+                file.insert(key, b"t%d" % key)
+            for key in range(10):
+                file.delete(key)
+            network.run()
+            dump = network.dump_buckets("rp")
+            retired = sorted(
+                address for address, info in dump.items()
+                if info["retired"]
+            )
+            assert retired, "shrink produced no tombstones"
+            file.sync_client_images()
+            for address in retired:
+                network.decommission("rp", address)
+            for key in (10, 11):
+                assert file.lookup(key) == b"t%d" % key
+            with pytest.raises(LiveBackendError,
+                               match="was decommissioned"):
+                network.send(
+                    file.client_id(0), file.bucket_id(retired[0]),
+                    "lookup", {"key": 10}, size=32,
+                )
+            for address in retired:
+                cluster.reap_site(address)
+                assert ("bucket", address) not in cluster._procs
+            network.run()
+            for key in (10, 11):
+                assert file.lookup(key) == b"t%d" % key
+
+    def test_crash_and_rejoin_of_retired_address(self):
+        """A tombstone's process can crash and rejoin like any other
+        site: reads keep working while it is down (synced images
+        route around it) and the coordinator ends clean after the
+        restore."""
+        from repro.net.live import LiveCluster
+        from repro.sdds.lhstar import LHStarFile
+
+        with LiveCluster(buckets=8) as cluster:
+            network = cluster.connect()
+            file = LHStarFile(
+                name="rj", network=network, bucket_capacity=4,
+                shrink=True,
+            )
+            for key in range(12):
+                file.insert(key, b"j%d" % key)
+            for key in range(10):
+                file.delete(key)
+            network.run()
+            dump = network.dump_buckets("rj")
+            retired = sorted(
+                address for address, info in dump.items()
+                if info["retired"]
+            )
+            assert retired
+            file.sync_client_images()
+            tombstone = file.bucket_id(retired[-1])
+            network.crash(tombstone)
+            for key in (10, 11):
+                assert file.lookup(key) == b"j%d" % key
+            assert network.restore(tombstone) is True
+            network.run()
+            for key in (10, 11):
+                assert file.lookup(key) == b"j%d" % key
+            state = network.coordinator_state("rj")
+            assert not state["dead"]
+
+
+@pytest.mark.parametrize(
+    "network_backend",
+    ["simulator", pytest.param("live", marks=live)],
+    indirect=True,
+)
+class TestRetiredTombstoneRaces:
+    """Stale split/merge shipments arriving at a retired bucket are
+    re-shipped along the merge-target chain — the race an in-flight
+    split loses against a concurrent merge.  Crafted by hand because
+    the fault layer exempts structural kinds on both backends."""
+
+    def _tombstoned_file(self, network):
+        from repro.sdds.lhstar import LHStarFile
+
+        file = LHStarFile(
+            name="race", network=network, bucket_capacity=4,
+            shrink=True,
+        )
+        for key in range(12):
+            file.insert(key, b"r%d" % key)
+        for key in range(10):
+            file.delete(key)
+        network.run()
+        retired = sorted(
+            address
+            for address, info in dump_either(network, file).items()
+            if info["retired"]
+        )
+        assert retired, "shrink produced no tombstones"
+        return file, retired
+
+    @staticmethod
+    def _locate(network, file, rid):
+        return [
+            (address, info["retired"])
+            for address, info in dump_either(network, file).items()
+            if any(record.rid == rid for record in info["records"])
+        ]
+
+    def test_stale_merge_records_reship_to_live_target(
+        self, network_backend
+    ):
+        from repro.sdds.records import Record
+
+        network = network_backend.make(sites=EPISODE_SITES)
+        file, retired = self._tombstoned_file(network)
+        network.send(
+            file.client_id(0), file.bucket_id(retired[-1]),
+            "merge_records",
+            {"records": [Record(1000, b"raced")], "level": 0},
+            size=64,
+        )
+        network.run()
+        # Exactly one copy, parked on a live bucket — the tombstone
+        # chain (which may pass through other tombstones) forwarded
+        # it instead of swallowing or resurrecting it.
+        assert self._locate(network, file, 1000) == [(0, False)]
+
+    def test_duplicated_stale_split_records_stay_single(
+        self, network_backend
+    ):
+        from repro.sdds.records import Record
+
+        network = network_backend.make(sites=EPISODE_SITES)
+        file, retired = self._tombstoned_file(network)
+        for __ in range(2):  # the duplication fault, by hand
+            network.send(
+                file.client_id(0), file.bucket_id(retired[-1]),
+                "split_records",
+                {"records": [Record(1001, b"twice")]},
+                size=64,
+            )
+        network.run()
+        assert self._locate(network, file, 1001) == [(0, False)]
+
+    def test_reship_rides_out_a_loss_window(self, network_backend):
+        """Structural kinds are exempt from seeded loss on both
+        backends, so the re-ship lands even under loss_rate=1."""
+        from repro.sdds.records import Record
+
+        network = network_backend.make(sites=EPISODE_SITES)
+        file, retired = self._tombstoned_file(network)
+        enable = getattr(network, "enable_faults", None)
+        if enable is not None:
+            enable(seed=1)
+            network.faults.loss_rate = 1.0
+        else:
+            from repro.net.faults import FaultModel
+
+            network.faults = FaultModel(seed=1, loss_rate=1.0)
+        network.send(
+            file.client_id(0), file.bucket_id(retired[-1]),
+            "merge_records",
+            {"records": [Record(1002, b"lossy")], "level": 0},
+            size=64,
+        )
+        network.run()
+        assert self._locate(network, file, 1002) == [(0, False)]
 
 
 @live

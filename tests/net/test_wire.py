@@ -284,8 +284,10 @@ def payload_for(kind: str):
                  "level": 1},
         "scan_reply": {"op": 4, "address": 1, "level": 2,
                        "hits": [hit], "forwarded": [(3, 2)]},
-        "overflow": {"address": 0},
+        "overflow": {"address": 0, "delta": 1},
         "underflow": {"address": 1},
+        "load": {"address": 0, "delta": 1},
+        "leave": {"address": 1},
         "split": {"new_address": 2, "new_level": 2},
         "split_records": {"records": records},
         "merge": {"target": 0, "level": 1},
