@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.automaton import needles_automaton
 from repro.core.compression import PairCompressor
 from repro.core.errors import ConfigurationError
 from repro.core.kernels import fused_codec
@@ -44,13 +45,24 @@ class CompressedScanMatcher:
     also what degraded parity scans use); :meth:`match_bucket` runs
     each needle once over the bucket haystack, resuming after a
     record's first hit at the record's end — the same early exit.
+    With ``automaton`` on, membership lookups route through the
+    multi-needle gram index when its thresholds say the single sweep
+    wins (:mod:`repro.core.automaton`); candidate sets are identical
+    either way.
     """
 
     def __init__(self, needles: tuple[bytes, ...],
-                 batched: bool = True) -> None:
+                 batched: bool = True,
+                 automaton: bool = True) -> None:
         self.needles = needles
+        self.automaton = automaton
         if not batched:
             self.match_bucket = None  # type: ignore[assignment]
+
+    def scan_key(self) -> tuple:
+        """Value identity for the bucket scan memo."""
+        return ("csi", self.needles, self.match_bucket is None,
+                self.automaton)
 
     def __call__(self, record: Record):
         if any(needle in record.content for needle in self.needles):
@@ -58,10 +70,80 @@ class CompressedScanMatcher:
         return None
 
     def match_bucket(self, haystack: BucketHaystack):
+        compiled = (
+            needles_automaton(self.needles) if self.automaton else None
+        )
         matched = set()
         for needle in self.needles:
-            matched.update(haystack.find_records(needle))
+            if compiled is not None:
+                matched.update(compiled.lookup_records(haystack, needle))
+            else:
+                matched.update(haystack.find_records(needle))
         return [rid for rid in haystack.rids if rid in matched]
+
+
+class MultiCompressedScanMatcher:
+    """Scan matcher multiplexing several compressed-index queries in
+    one round (:meth:`CompressedSearchStore.search_batch`).
+
+    ``needle_groups[index]`` is pattern ``index``'s encrypted
+    edge-variant tuple.  Hits are ``(rid, (pattern indexes...))`` in
+    record order, the per-record and per-bucket forms byte-identical —
+    and with ``automaton`` on, all groups' needles share each bucket's
+    gram index, so the haystack is swept once for the whole batch.
+    """
+
+    def __init__(self, needle_groups: tuple[tuple[bytes, ...], ...],
+                 batched: bool = True,
+                 automaton: bool = True) -> None:
+        self.needle_groups = needle_groups
+        self.automaton = automaton
+        if not batched:
+            self.match_bucket = None  # type: ignore[assignment]
+
+    def scan_key(self) -> tuple:
+        """Value identity for the bucket scan memo."""
+        return ("multi-csi", self.needle_groups,
+                self.match_bucket is None, self.automaton)
+
+    def __call__(self, record: Record):
+        indexes = tuple(
+            index
+            for index, needles in enumerate(self.needle_groups)
+            if any(needle in record.content for needle in needles)
+        )
+        if not indexes:
+            return None
+        return (record.rid, indexes)
+
+    def match_bucket(self, haystack: BucketHaystack):
+        flat = tuple(
+            needle
+            for needles in self.needle_groups
+            for needle in needles
+        )
+        compiled = needles_automaton(flat) if self.automaton else None
+        per_group: list[set[int]] = []
+        for needles in self.needle_groups:
+            matched: set[int] = set()
+            for needle in needles:
+                if compiled is not None:
+                    matched.update(
+                        compiled.lookup_records(haystack, needle)
+                    )
+                else:
+                    matched.update(haystack.find_records(needle))
+            per_group.append(matched)
+        hits = []
+        for rid in haystack.rids:
+            indexes = tuple(
+                index
+                for index, matched in enumerate(per_group)
+                if rid in matched
+            )
+            if indexes:
+                hits.append((rid, indexes))
+        return hits
 
 
 @dataclass(frozen=True)
@@ -95,7 +177,11 @@ class CompressedSearchStore:
         bucket_capacity: int = 128,
         name: str = "csi",
         fast_path: bool = True,
+        automaton: bool = True,
     ) -> None:
+        # ``automaton=False`` pins batched scans to per-needle sweeps
+        # (equivalence ladder middle rung; see repro.core.automaton).
+        self.automaton = automaton
         self.compressor = PairCompressor.train(
             training_corpus, max_pairs=max_pairs, lossy_codes=lossy_codes
         )
@@ -192,7 +278,8 @@ class CompressedSearchStore:
         )
         before = self.network.stats.snapshot()
         matcher = CompressedScanMatcher(needles,
-                                        batched=self.fast_path)
+                                        batched=self.fast_path,
+                                        automaton=self.automaton)
         # Real serialized query size: a 1-byte variant count, then per
         # needle a 2-byte length prefix plus the needle bytes (the
         # variants have differing lengths, so bare concatenation would
@@ -215,6 +302,74 @@ class CompressedSearchStore:
             false_positives=frozenset(candidates - matches),
             cost=self.network.stats.diff(before),
         )
+
+    def search_batch(
+        self, patterns: list[str], verify: bool = True
+    ) -> dict[str, CompressedSearchResult]:
+        """Run many independent searches in one parallel scan round.
+
+        All patterns' edge-variant needles ship in one scan message
+        per bucket; with the fast path on, every needle answers from
+        the bucket's shared gram index — one haystack sweep for the
+        whole batch instead of one per needle.  Cost accounting
+        follows :meth:`EncryptedSearchableStore.search_batch`: the
+        scan round and the verification fetches are shared (each
+        candidate record is fetched once), so every per-pattern result
+        carries the shared totals.
+        """
+        if not patterns:
+            raise ConfigurationError("need at least one pattern")
+        unique = list(dict.fromkeys(patterns))
+        needle_groups = tuple(
+            tuple(
+                self._encrypt_stream(variant)
+                for variant in self.compressor.pattern_variants(
+                    pattern.encode("ascii")
+                )
+            )
+            for pattern in unique
+        )
+        before = self.network.stats.snapshot()
+        matcher = MultiCompressedScanMatcher(
+            needle_groups, batched=self.fast_path,
+            automaton=self.automaton,
+        )
+        # Concatenation of the per-pattern query encodings (see
+        # ``search``'s request_size note).
+        request_size = sum(
+            1 + sum(2 + len(needle) for needle in needles)
+            for needles in needle_groups
+        )
+        hits = self.index_file.scan(matcher, request_size=request_size)
+        per_pattern: list[set[int]] = [set() for _ in unique]
+        for rid, indexes in hits:
+            for index in indexes:
+                per_pattern[index].add(rid)
+        text_cache: dict[int, str | None] = {}
+        outcomes: list[tuple[str, set[int], set[int]]] = []
+        for pattern, candidates in zip(unique, per_pattern):
+            if verify:
+                matches = set()
+                for rid in candidates:
+                    if rid not in text_cache:
+                        text_cache[rid] = self.get(rid)
+                    text = text_cache[rid]
+                    if text is not None and pattern in text:
+                        matches.add(rid)
+            else:
+                matches = set(candidates)
+            outcomes.append((pattern, candidates, matches))
+        cost = self.network.stats.diff(before)
+        return {
+            pattern: CompressedSearchResult(
+                pattern=pattern,
+                candidates=frozenset(candidates),
+                matches=frozenset(matches),
+                false_positives=frozenset(candidates - matches),
+                cost=cost,
+            )
+            for pattern, candidates, matches in outcomes
+        }
 
     def index_bytes(self) -> int:
         """Total stored index bytes (the design's headline economy)."""

@@ -118,6 +118,11 @@ class BatchHitReporter:
     def __call__(self, index: int, hit: SiteHit) -> "_BatchHit":
         return _BatchHit(index=index, hit=hit, tagged=self.tagged)
 
+    def memo_key(self) -> tuple:
+        """Value identity for the bucket scan memo (see
+        :meth:`repro.core.search.MultiPlanScanMatcher.scan_key`)."""
+        return ("batch-report", self.tagged)
+
 
 @dataclass
 class _BatchHit:
@@ -155,12 +160,17 @@ class EncryptedSearchableStore:
         fast_path: bool = True,
         shrink: bool = False,
         merge_threshold: float = 0.4,
+        automaton: bool = True,
     ) -> None:
         self.params = params
         # ``fast_path=False`` pins the reference per-chunk codec — the
         # fused-kernel equivalence harness compares the two stores
         # byte-for-byte (streams, answers and wire costs must match).
         self.pipeline = IndexPipeline(params, encoder, fast_path=fast_path)
+        # ``automaton=False`` pins batched scans to the per-needle
+        # sweep (no multi-needle gram index) — the middle rung of the
+        # automaton ≡ per-needle ≡ scalar equivalence ladder.
+        self.automaton = automaton
         self.network = network or Network()
         keys = KeyHierarchy(params.master_key)
         self._keys = keys
@@ -414,6 +424,7 @@ class EncryptedSearchableStore:
         matcher = PlanScanMatcher(
             plan, self.key_codec,
             batched=self.pipeline.fast_path,
+            automaton=self.automaton,
         )
         hits = self.index_file.scan(
             matcher, request_size=plan.request_size()
@@ -465,6 +476,7 @@ class EncryptedSearchableStore:
             self.key_codec,
             BatchHitReporter(tagged=len(plans) > 1),
             batched=self.pipeline.fast_path,
+            automaton=self.automaton,
         )
 
     def _start_anchor(self, plan) -> tuple[int, int, int]:

@@ -24,7 +24,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.core.automaton import plan_signature, plans_automaton
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.automaton import ScanAutomaton
     from repro.sdds.haystack import BucketHaystack
     from repro.sdds.records import Record
 
@@ -168,6 +171,7 @@ def bucket_plan_hits(
     plan: SearchPlan,
     haystack: "BucketHaystack",
     decode: Callable[[int], tuple[int, int, int]],
+    automaton: "ScanAutomaton | None" = None,
 ) -> dict[int, dict[int, list[int]]]:
     """One plan's hits over one bucket haystack: record key ->
     (alignment -> positions).
@@ -175,9 +179,13 @@ def bucket_plan_hits(
     Runs every needle once over its (group, site) sub-haystack (see
     :func:`_site_partition`; the partition is memoised on the haystack,
     so it is built once per bucket lifetime, not per query) instead of
-    once per record.  Position lists come out ascending per record and
-    alignment keys keep the plan's needle iteration order, matching
-    the per-record :meth:`SearchPlan.match_site` path exactly.
+    once per record.  With an ``automaton``
+    (:class:`repro.core.automaton.ScanAutomaton`) the needle lookups
+    route through the multi-needle gram index where its thresholds say
+    the single sweep wins — the hit stream is byte-identical either
+    way.  Position lists come out ascending per record and alignment
+    keys keep the plan's needle iteration order, matching the
+    per-record :meth:`SearchPlan.match_site` path exactly.
     """
     width = plan.piece_width
     partition = haystack.view(
@@ -189,6 +197,20 @@ def bucket_plan_hits(
             sub = partition.get((group, site))
             if sub is None:
                 continue
+            if automaton is not None:
+                grouped = automaton.lookup_grouped(
+                    sub, (group, site), needle, width
+                )
+                if grouped is not None:
+                    # Index hits arrive pre-grouped per record (blob
+                    # order, positions ascending): extending per group
+                    # builds the same lists as the per-hit loop below.
+                    for key, positions in grouped:
+                        record_hits = per_record.setdefault(key, {})
+                        record_hits.setdefault(
+                            alignment, []
+                        ).extend(positions)
+                    continue
             for key, position in sub.find_all(needle, width):
                 record_hits = per_record.setdefault(key, {})
                 record_hits.setdefault(alignment, []).append(position)
@@ -218,11 +240,23 @@ class PlanScanMatcher:
         plan: SearchPlan,
         decode: Callable[[int], tuple[int, int, int]],
         batched: bool = True,
+        automaton: bool = True,
     ) -> None:
         self.plan = plan
         self.decode = decode
+        self.automaton = automaton
         if not batched:
             self.match_bucket = None  # type: ignore[assignment]
+
+    def scan_key(self) -> tuple | None:
+        """Value identity for server-side scan-result memoisation
+        (:class:`repro.sdds.lhstar.LHStarBucket`): equal keys guarantee
+        equal ``match_bucket`` output over an unchanged haystack.
+        ``None`` (an opaque ``decode``) disables the memo."""
+        if not isinstance(self.decode, IndexKeyCodec):
+            return None
+        return ("plan", plan_signature(self.plan), self.decode,
+                self.match_bucket is None, self.automaton)
 
     def __call__(self, record: "Record") -> SiteHit | None:
         rid, group, site = self.decode(record.rid)
@@ -233,7 +267,10 @@ class PlanScanMatcher:
                        positions=positions)
 
     def match_bucket(self, haystack: "BucketHaystack") -> list[SiteHit]:
-        per_record = bucket_plan_hits(self.plan, haystack, self.decode)
+        compiled = plans_automaton([self.plan]) if self.automaton \
+            else None
+        per_record = bucket_plan_hits(self.plan, haystack, self.decode,
+                                      compiled)
         hits = []
         for key in haystack.rids:
             positions = per_record.get(key)
@@ -259,12 +296,31 @@ class MultiPlanScanMatcher:
         decode: Callable[[int], tuple[int, int, int]],
         report: Callable[[int, SiteHit], object],
         batched: bool = True,
+        automaton: bool = True,
     ) -> None:
         self.plans = plans
         self.decode = decode
         self.report = report
+        self.automaton = automaton
         if not batched:
             self.match_bucket = None  # type: ignore[assignment]
+
+    def scan_key(self) -> tuple | None:
+        """Value identity for the bucket scan memo; ``None`` when the
+        decode or report callables are opaque (see
+        :meth:`PlanScanMatcher.scan_key`)."""
+        report_key = getattr(self.report, "memo_key", None)
+        if report_key is None or not isinstance(self.decode,
+                                                IndexKeyCodec):
+            return None
+        return (
+            "multi-plan",
+            tuple(plan_signature(plan) for plan in self.plans),
+            self.decode,
+            report_key(),
+            self.match_bucket is None,
+            self.automaton,
+        )
 
     def __call__(self, record: "Record") -> list | None:
         rid, group, site = self.decode(record.rid)
@@ -280,17 +336,22 @@ class MultiPlanScanMatcher:
         return reports or None
 
     def match_bucket(self, haystack: "BucketHaystack") -> list[list]:
+        compiled = plans_automaton(self.plans) if self.automaton \
+            else None
         per_plan = [
-            bucket_plan_hits(plan, haystack, self.decode)
+            bucket_plan_hits(plan, haystack, self.decode, compiled)
             for plan in self.plans
         ]
         hits = []
         for key in haystack.rids:
             reports = []
+            decoded = None
             for index, per_record in enumerate(per_plan):
                 positions = per_record.get(key)
                 if positions:
-                    rid, group, site = self.decode(key)
+                    if decoded is None:
+                        decoded = self.decode(key)
+                    rid, group, site = decoded
                     reports.append(self.report(
                         index,
                         SiteHit(rid=rid, group=group, site=site,

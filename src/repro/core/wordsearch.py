@@ -28,7 +28,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from repro.core.errors import RecordNotFoundError
+from repro.core.errors import ConfigurationError, RecordNotFoundError
+from repro.core.kernels import scan_automaton
 from repro.crypto.keys import KeyHierarchy
 from repro.crypto.modes import CtrCipher
 from repro.crypto.swp import WORD_BYTES, SwpCipher, Trapdoor
@@ -64,6 +65,10 @@ class WordScanMatcher:
         if not fast_path:
             self.match_bucket = None  # type: ignore[assignment]
 
+    def scan_key(self) -> tuple:
+        """Value identity for the bucket scan memo."""
+        return ("swp", self.trapdoor, self.fast_path)
+
     def _positions(self, cells: bytes | memoryview) -> tuple[int, ...]:
         if self.fast_path:
             return tuple(SwpCipher.match_positions(cells, self.trapdoor))
@@ -88,6 +93,83 @@ class WordScanMatcher:
             positions = self._positions(cells)
             if positions:
                 hits.append((rid, positions))
+        return hits
+
+
+class MultiWordScanMatcher:
+    """Scan matcher multiplexing several SWP trapdoors in one round
+    (:meth:`EncryptedWordStore.search_batch`).
+
+    The batched form converts each record's cell blob to a big
+    integer **once** and unmasks it per trapdoor
+    (:meth:`repro.crypto.swp.SwpCipher.match_positions_multi`), with
+    the per-trapdoor HMAC key schedules compiled once per trapdoor set
+    and cached in the kernel automaton registry — K words cost one
+    scan round and one blob conversion instead of K of each.  Hits are
+    ``(rid, ((word index, positions), ...))``; the per-record and
+    per-bucket forms are byte-identical, and each word's positions are
+    exactly what a solo :class:`WordScanMatcher` reports.
+    """
+
+    def __init__(self, trapdoors: tuple[Trapdoor, ...],
+                 fast_path: bool = True) -> None:
+        self.trapdoors = trapdoors
+        self.fast_path = fast_path
+        if not fast_path:
+            self.match_bucket = None  # type: ignore[assignment]
+
+    def scan_key(self) -> tuple:
+        """Value identity for the bucket scan memo."""
+        return ("multi-swp", self.trapdoors, self.fast_path)
+
+    def _compiled_checks(self) -> list:
+        """The hoisted per-trapdoor HMAC closures, shared process-wide
+        per trapdoor set via the kernel automaton registry."""
+        return scan_automaton(
+            ("swp", self.trapdoors),
+            lambda: [
+                SwpCipher._hoisted_check(trapdoor.word_key)
+                for trapdoor in self.trapdoors
+            ],
+        )
+
+    def _hits(self, cells: bytes | memoryview,
+              checks: list | None = None) -> tuple:
+        if self.fast_path:
+            per_trapdoor = SwpCipher.match_positions_multi(
+                cells, self.trapdoors, checks
+            )
+            return tuple(
+                (index, tuple(positions))
+                for index, positions in enumerate(per_trapdoor)
+                if positions
+            )
+        match = SwpCipher.match
+        reports = []
+        for index, trapdoor in enumerate(self.trapdoors):
+            positions = tuple(
+                position
+                for position in range(len(cells) // WORD_BYTES)
+                if match(cells[WORD_BYTES * position:
+                               WORD_BYTES * (position + 1)], trapdoor)
+            )
+            if positions:
+                reports.append((index, positions))
+        return tuple(reports)
+
+    def __call__(self, record: Record):
+        reports = self._hits(record.content)
+        if not reports:
+            return None
+        return (record.rid, reports)
+
+    def match_bucket(self, haystack: BucketHaystack):
+        checks = self._compiled_checks()
+        hits = []
+        for rid, cells in haystack.segments():
+            reports = self._hits(cells, checks)
+            if reports:
+                hits.append((rid, reports))
         return hits
 
 
@@ -200,6 +282,45 @@ class EncryptedWordStore:
             positions=positions,
             cost=self.network.stats.diff(before),
         )
+
+    def search_batch(self, words: list[str]
+                     ) -> dict[str, WordSearchResult]:
+        """Run many independent word searches in one scan round.
+
+        K trapdoors ship in one scan message per bucket (billed at
+        their summed serialized size) and each index record's cell
+        blob is unmasked for all of them off a single big-integer
+        conversion.  The scan round is shared, so every per-word
+        result carries the shared cost — mirroring
+        :meth:`EncryptedSearchableStore.search_batch`.
+        """
+        if not words:
+            raise ConfigurationError("need at least one word")
+        unique = list(dict.fromkeys(words))
+        trapdoors = tuple(self._swp.trapdoor(word) for word in unique)
+        before = self.network.stats.snapshot()
+        matcher = MultiWordScanMatcher(trapdoors,
+                                       fast_path=self.fast_path)
+        raw_hits = self.index_file.scan(
+            matcher,
+            request_size=sum(t.wire_size for t in trapdoors),
+        )
+        per_word: list[dict[int, tuple[int, ...]]] = [
+            {} for _ in unique
+        ]
+        for rid, reports in raw_hits:
+            for index, positions in reports:
+                per_word[index][rid] = positions
+        cost = self.network.stats.diff(before)
+        return {
+            word: WordSearchResult(
+                word=word,
+                matches=frozenset(positions),
+                positions=positions,
+                cost=cost,
+            )
+            for word, positions in zip(unique, per_word)
+        }
 
     def decrypt_index_of(self, rid: int) -> list[str]:
         """Client-side full decryption of a record's word cells

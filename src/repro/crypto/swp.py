@@ -211,6 +211,46 @@ class SwpCipher:
                 positions.append(position)
         return positions
 
+    @staticmethod
+    def match_positions_multi(
+        cells: bytes | memoryview,
+        trapdoors: "tuple[Trapdoor, ...] | list[Trapdoor]",
+        checks: "list | None" = None,
+    ) -> list[list[int]]:
+        """:meth:`match_positions` for several trapdoors over one cell
+        blob, sharing the big-integer conversion of the blob across
+        all of them.  ``checks`` optionally supplies the hoisted HMAC
+        closures (:meth:`_hoisted_check` per trapdoor) so a batched
+        matcher can compile them once per bucket instead of once per
+        record.  Each returned position list is exactly what
+        :meth:`match_positions` returns for that trapdoor alone.
+        """
+        length = len(cells)
+        if length % WORD_BYTES:
+            raise ValueError("malformed SWP cell blob")
+        count = length // WORD_BYTES
+        if not count:
+            return [[] for _ in trapdoors]
+        cells_int = int.from_bytes(cells, "big")
+        if checks is None:
+            checks = [
+                SwpCipher._hoisted_check(trapdoor.word_key)
+                for trapdoor in trapdoors
+            ]
+        results = []
+        for trapdoor, check in zip(trapdoors, checks):
+            mask = int.from_bytes(trapdoor.pre_encrypted * count, "big")
+            masked = (cells_int ^ mask).to_bytes(length, "big")
+            positions = []
+            for position in range(count):
+                base = position * WORD_BYTES
+                split = base + LEFT_BYTES
+                if check(masked[base:split]) == masked[
+                        split:base + WORD_BYTES]:
+                    positions.append(position)
+            results.append(positions)
+        return results
+
     def decrypt_word(self, document_id: int, position: int,
                      cell: bytes) -> bytes:
         """Recover X (the deterministic word image) and invert it.

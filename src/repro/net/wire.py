@@ -284,7 +284,10 @@ def _batched(matcher: Any) -> bool:
 
 def _build_registry() -> None:
     global _TYPES, _BY_ID
-    from repro.core.compressed_index import CompressedScanMatcher
+    from repro.core.compressed_index import (
+        CompressedScanMatcher,
+        MultiCompressedScanMatcher,
+    )
     from repro.core.scheme import BatchHitReporter, _BatchHit
     from repro.core.search import (
         IndexKeyCodec,
@@ -293,7 +296,10 @@ def _build_registry() -> None:
         SearchPlan,
         SiteHit,
     )
-    from repro.core.wordsearch import WordScanMatcher
+    from repro.core.wordsearch import (
+        MultiWordScanMatcher,
+        WordScanMatcher,
+    )
     from repro.crypto.swp import Trapdoor
     from repro.net.faults import RetryPolicy
     from repro.net.stats import NetworkStats
@@ -393,6 +399,13 @@ def _build_registry() -> None:
         (14, RidScanMatcher,
          lambda m: (),
          lambda f: RidScanMatcher()),
+        (15, MultiWordScanMatcher,
+         lambda m: (list(m.trapdoors), m.fast_path),
+         lambda f: MultiWordScanMatcher(tuple(f[0]), fast_path=f[1])),
+        (16, MultiCompressedScanMatcher,
+         lambda m: (list(m.needle_groups), _batched(m)),
+         lambda f: MultiCompressedScanMatcher(
+             tuple(tuple(group) for group in f[0]), batched=f[1])),
     ]
     _TYPES = {cls: (type_id, pack, unpack)
               for type_id, cls, pack, unpack in table}

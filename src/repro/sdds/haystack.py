@@ -37,7 +37,7 @@ small arrays (see :meth:`memory_bytes`).
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sdds.records import Record
@@ -98,10 +98,10 @@ class BucketHaystack:
         self.rids = rids
         self._starts = starts
         self._ends = ends
-        self._views: dict[str, object] = {}
+        self._views: dict[Hashable, object] = {}
 
     def view(
-        self, token: str, build: "Callable[[BucketHaystack], object]"
+        self, token: Hashable, build: "Callable[[BucketHaystack], object]"
     ) -> object:
         """Memoised derived view (e.g. a per-(group, site) partition).
 
@@ -179,12 +179,40 @@ class BucketHaystack:
         for index, rid in enumerate(self.rids):
             yield rid, view[self._starts[index]:self._ends[index]]
 
+    def segment_bounds(self) -> Iterator[tuple[int, int, int]]:
+        """``(record key, blob start, blob end)`` per record, in blob
+        order — the raw offsets a single-sweep indexer needs."""
+        for index, rid in enumerate(self.rids):
+            yield self.rids[index], self._starts[index], self._ends[index]
+
     # -- accounting ----------------------------------------------------------
 
     def memory_bytes(self) -> int:
-        """Approximate residency: the blob plus the offset arrays.
+        """Approximate residency: the blob, the offset arrays, and any
+        cached derived views (:meth:`view`).
 
-        Derived views (:meth:`view`) are not counted here; the chunk
-        index's site partition roughly doubles the figure (one more
-        copy of the payload, split across sub-haystacks)."""
-        return len(self.blob) + 3 * 8 * len(self.rids)
+        Views are accounted duck-typed: an object exposing its own
+        ``memory_bytes`` reports itself (so a site partition's
+        sub-haystacks recurse into *their* cached views too), dicts and
+        sequences are summed element-wise, anything else counts zero.
+        The chunk index's site partition roughly doubles the base
+        figure (one more copy of the payload, split across
+        sub-haystacks)."""
+        return (
+            len(self.blob)
+            + 3 * 8 * len(self.rids)
+            + sum(_view_memory_bytes(view) for view in self._views.values())
+        )
+
+
+def _view_memory_bytes(value: object) -> int:
+    """Residency of one cached view, duck-typed (see
+    :meth:`BucketHaystack.memory_bytes`)."""
+    accounted = getattr(value, "memory_bytes", None)
+    if accounted is not None:
+        return accounted()
+    if isinstance(value, dict):
+        return sum(_view_memory_bytes(item) for item in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_view_memory_bytes(item) for item in value)
+    return 0

@@ -146,6 +146,16 @@ class LHStarBucket(Node):
     it merged into.
     """
 
+    #: Scan requests are safe to deliver as a vectorised round: the
+    #: handler only matches and sends (never crashes, detaches or
+    #: partitions a node), so grouping same-arrival scans per bucket
+    #: preserves per-message billing and fault accounting exactly.
+    BATCHABLE_KINDS = frozenset({"scan"})
+
+    #: Bound on the bucket-level scan-result memo (distinct matcher
+    #: values remembered per haystack build).
+    MATCH_MEMO_LIMIT = 16
+
     def __init__(
         self,
         file: "LHStarFile",
@@ -181,6 +191,13 @@ class LHStarBucket(Node):
         # batched scans; dropped on any record mutation and rebuilt on
         # the next batch-capable scan (see repro.sdds.haystack).
         self._haystack: BucketHaystack | None = None
+        # Bucket-level scan-result memo: matcher value identity
+        # (``matcher.scan_key()``) -> hits against the *current*
+        # haystack.  Matchers are pure functions of (value, records),
+        # so identical queries arriving in one vectorised round — or
+        # across rounds while the records are unchanged — reuse the
+        # computed hits.  Dropped with the haystack on any mutation.
+        self._match_memo: OrderedDict[Hashable, list] = OrderedDict()
 
     # -- batched-scan haystack -------------------------------------------
 
@@ -199,6 +216,7 @@ class LHStarBucket(Node):
         if self._haystack is not None:
             self._haystack = None
             metric_inc("lh.haystack.invalidate")
+        self._match_memo.clear()
 
     # -- message dispatch -----------------------------------------------
 
@@ -482,14 +500,33 @@ class LHStarBucket(Node):
         # always use the per-record form (records are reconstructed
         # one at a time), so every matcher stays callable.
         bucket_match = getattr(matcher, "match_bucket", None)
-        if bucket_match is not None:
-            hits = bucket_match(self.haystack())
+        # Scan-result memo: matchers exposing ``scan_key()`` (a value
+        # identity) are pure functions of (key, resident records), so
+        # repeats of the same query against an unchanged bucket —
+        # the common shape of a vectorised round fanning one hot query
+        # out for many clients — reuse the computed hits verbatim.
+        memo_key = None
+        if self.network is not None and self.network.vectorised_rounds:
+            scan_key = getattr(matcher, "scan_key", None)
+            if scan_key is not None:
+                memo_key = scan_key()
+        if memo_key is not None and memo_key in self._match_memo:
+            self._match_memo.move_to_end(memo_key)
+            hits = self._match_memo[memo_key]
+            metric_inc("lh.scan.memo_hit")
         else:
-            hits = [
-                outcome
-                for record in self.records.values()
-                if (outcome := matcher(record)) is not None
-            ]
+            if bucket_match is not None:
+                hits = bucket_match(self.haystack())
+            else:
+                hits = [
+                    outcome
+                    for record in self.records.values()
+                    if (outcome := matcher(record)) is not None
+                ]
+            if memo_key is not None:
+                self._match_memo[memo_key] = hits
+                while len(self._match_memo) > self.MATCH_MEMO_LIMIT:
+                    self._match_memo.popitem(last=False)
         reply = {
             "op": payload["op"],
             "address": self.address,
@@ -1058,6 +1095,12 @@ class LHStarClient(Node):
     surfaces as :class:`~repro.net.faults.RetryExhaustedError` from
     ``take_reply``/``take_scan``.
     """
+
+    #: Scan replies only fold hits into client-side state (and cancel
+    #: timers) — they never crash, detach or partition a node — so a
+    #: burst arriving together may be delivered as one vectorised
+    #: round without observable difference.
+    BATCHABLE_KINDS = frozenset({"scan_reply"})
 
     def __init__(self, file: "LHStarFile", client_index: int = 0) -> None:
         super().__init__(file.client_id(client_index))

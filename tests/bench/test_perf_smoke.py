@@ -39,7 +39,7 @@ def _healthy_ratios(perf_smoke, **overrides):
 
 class TestPayloadShape:
     def test_codec_payload(self, payloads):
-        codec, __ = payloads
+        codec, __, __ = payloads
         assert codec["schema"] == "repro-perf-smoke/2"
         for name in (
             "prp_encrypt_reference", "prp_encrypt_stream",
@@ -55,7 +55,7 @@ class TestPayloadShape:
             assert codec["ratios"][name] > 0
 
     def test_search_payload(self, payloads):
-        __, search = payloads
+        __, search, __ = payloads
         assert search["schema"] == "repro-perf-smoke/2"
         for name in (
             "bulk_load_fused", "search_round",
@@ -74,8 +74,24 @@ class TestPayloadShape:
         ):
             assert search["memory"][name] > 0
 
+    def test_scan_payload(self, payloads):
+        __, __, scan = payloads
+        assert scan["schema"] == "repro-perf-smoke/2"
+        for name in (
+            "multi_needle_scan_automaton",
+            "multi_needle_scan_per_needle",
+            "vectorised_round_batch",
+            "per_message_round_batch",
+        ):
+            assert scan["benches"][name]["median_ns_per_op"] > 0
+        for name in (
+            "multi_needle_scan_speedup", "vectorised_round_speedup",
+        ):
+            assert scan["ratios"][name] > 0
+        assert scan["memory"]["automaton_build_peak_bytes"] > 0
+
     def test_fidelity_holds(self, payloads):
-        codec, __ = payloads
+        codec, __, __ = payloads
         assert codec["equivalence"] == {
             "index_bytes_identical": True,
             "search_answers_identical": True,
@@ -148,8 +164,15 @@ class TestGate:
             (ROOT / "benchmarks" / "baselines" / "BENCH_search.json")
             .read_text()
         )
-        ratios = {**codec["ratios"], **search["ratios"]}
+        scan = json.loads(
+            (ROOT / "benchmarks" / "baselines" / "BENCH_scan.json")
+            .read_text()
+        )
+        ratios = {
+            **codec["ratios"], **search["ratios"], **scan["ratios"]
+        }
         for name, floor in perf_smoke.GATED_RATIOS.items():
             assert ratios[name] >= floor, name
+        memory = {**search["memory"], **scan["memory"]}
         for name in perf_smoke.GATED_MEMORY:
-            assert search["memory"][name] > 0
+            assert memory[name] > 0

@@ -1,0 +1,177 @@
+"""Unit tests for the multi-needle scan automaton.
+
+The gram index must be a *drop-in* for the per-needle sweeps: same
+hits, same order, for every needle — plus the routing thresholds, the
+kernel-registry LRU, and the memory accounting the census reports.
+"""
+
+import pytest
+
+from repro.core.automaton import (
+    INDEX_MAX_BLOB,
+    INDEX_MAX_NEEDLE,
+    INDEX_MIN_NEEDLES,
+    ScanAutomaton,
+    gram_index,
+    needles_automaton,
+    plan_signature,
+    plans_automaton,
+)
+from repro.core.kernels import (
+    AUTOMATON_CACHE_CAPACITY,
+    automaton_cache_size,
+    clear_automaton_cache,
+    scan_automaton,
+)
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.sdds.haystack import BucketHaystack
+
+SEGMENTS = [
+    (3, b"ABABCDCD"),
+    (7, b"ZZABZZAB"),
+    (9, b"CDCDCDCD"),
+    (11, b"A"),          # shorter than most needles
+    (12, b""),           # empty segment
+]
+
+NEEDLES = [b"AB", b"CD", b"ZZ", b"XY", b"ABAB", b"DCDC", b"A"]
+
+
+def hay():
+    return BucketHaystack.from_segments(SEGMENTS)
+
+
+def indexed_automaton(length):
+    """An automaton whose single lane crossed the index threshold."""
+    return ScanAutomaton([(None, length)] * INDEX_MIN_NEEDLES)
+
+
+class TestGramIndexEquivalence:
+    @pytest.mark.parametrize("width", [1, 2])
+    @pytest.mark.parametrize("needle", NEEDLES)
+    def test_lookup_matches_find_all(self, needle, width):
+        automaton = indexed_automaton(len(needle))
+        assert automaton.uses_index(None, len(needle), len(hay().blob))
+        assert list(automaton.lookup(hay(), None, needle, width)) == list(
+            hay().find_all(needle, width)
+        ), (needle, width)
+
+    @pytest.mark.parametrize("needle", NEEDLES)
+    def test_lookup_records_matches_find_records(self, needle):
+        automaton = indexed_automaton(len(needle))
+        assert list(automaton.lookup_records(hay(), needle)) == list(
+            hay().find_records(needle)
+        ), needle
+
+    def test_grams_never_straddle_segments(self):
+        # "AB" at the end of rid 3 and "CD" at the start of rid 9 form
+        # no cross-segment gram; neither does rid 11's lone "A" with
+        # anything after it.
+        automaton = indexed_automaton(2)
+        assert list(automaton.lookup(hay(), None, b"DZ", 1)) == []
+        assert list(automaton.lookup(hay(), None, b"DA", 1)) == []
+
+    def test_fallback_and_index_agree_below_threshold(self):
+        sparse = ScanAutomaton([(None, 2)])  # 1 needle: fallback
+        dense = indexed_automaton(2)
+        assert not sparse.uses_index(None, 2, len(hay().blob))
+        for needle in (b"AB", b"CD", b"XY"):
+            assert list(sparse.lookup(hay(), None, needle, 1)) == list(
+                dense.lookup(hay(), None, needle, 1)
+            ), needle
+
+
+class TestRouting:
+    def test_min_needles_threshold(self):
+        below = ScanAutomaton([(None, 2)] * (INDEX_MIN_NEEDLES - 1))
+        at = ScanAutomaton([(None, 2)] * INDEX_MIN_NEEDLES)
+        assert not below.uses_index(None, 2, 100)
+        assert at.uses_index(None, 2, 100)
+
+    def test_lanes_are_independent(self):
+        automaton = ScanAutomaton(
+            [((0, 0), 2)] * INDEX_MIN_NEEDLES + [((0, 1), 2)]
+        )
+        assert automaton.uses_index((0, 0), 2, 100)
+        assert not automaton.uses_index((0, 1), 2, 100)
+        assert not automaton.uses_index((1, 0), 2, 100)
+
+    def test_needle_length_ceiling(self):
+        long = INDEX_MAX_NEEDLE + 1
+        automaton = ScanAutomaton([(None, long)] * INDEX_MIN_NEEDLES)
+        assert not automaton.uses_index(None, long, 100)
+
+    def test_blob_ceiling(self):
+        automaton = indexed_automaton(2)
+        assert automaton.uses_index(None, 2, INDEX_MAX_BLOB)
+        assert not automaton.uses_index(None, 2, INDEX_MAX_BLOB + 1)
+
+
+class TestCaches:
+    def test_kernel_registry_lru_and_metrics(self):
+        clear_automaton_cache()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            first = scan_automaton(("t", 1), lambda: object())
+            again = scan_automaton(("t", 1), lambda: object())
+        assert first is again
+        assert registry.counter("kernels.automaton.miss").value == 1
+        assert registry.counter("kernels.automaton.hit").value == 1
+        assert registry.histogram(
+            "kernels.automaton.build_seconds"
+        ).count == 1
+        # Eviction: oldest entries leave at capacity.
+        for extra in range(AUTOMATON_CACHE_CAPACITY):
+            scan_automaton(("t", "fill", extra), lambda: object())
+        assert automaton_cache_size() == AUTOMATON_CACHE_CAPACITY
+        refreshed = scan_automaton(("t", 1), lambda: object())
+        assert refreshed is not first  # evicted, rebuilt
+        clear_automaton_cache()
+        assert automaton_cache_size() == 0
+
+    def test_gram_index_memo_and_metrics(self):
+        haystack = hay()
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            first = gram_index(haystack, 2, 1)
+            again = gram_index(haystack, 2, 1)
+            other = gram_index(haystack, 2, 2)
+        assert first is again
+        assert other is not first
+        assert registry.counter("lh.haystack.automaton.build").value == 2
+        assert registry.counter("lh.haystack.automaton.hit").value == 1
+        assert registry.histogram(
+            "lh.haystack.automaton.bytes"
+        ).count == 2
+
+    def test_memory_bytes_reports_cached_views(self):
+        haystack = hay()
+        base = haystack.memory_bytes()
+        index = gram_index(haystack, 2, 1)
+        assert index.memory_bytes() > 0
+        assert haystack.memory_bytes() >= base + index.memory_bytes()
+
+    def test_plans_and_needles_automata_cached_by_value(self):
+        clear_automaton_cache()
+        a = needles_automaton((b"AB", b"CD"))
+        b = needles_automaton((b"AB", b"CD"))
+        c = needles_automaton((b"AB",))
+        assert a is b
+        assert c is not a
+
+    def test_plan_signature_is_hashable_and_value_stable(self):
+        from repro.core.search import SearchPlan
+
+        plan = SearchPlan(
+            pattern=b"AB", needles={(0, 0): (b"A", b"B")},
+            piece_width=1, sites=2, group_count=1,
+            alignments=(0,), required_groups=(0,),
+        )
+        twin = SearchPlan(
+            pattern=b"AB", needles={(0, 0): (b"A", b"B")},
+            piece_width=1, sites=2, group_count=1,
+            alignments=(0,), required_groups=(0,),
+        )
+        assert plan_signature(plan) == plan_signature(twin)
+        assert hash(plan_signature(plan)) == hash(plan_signature(twin))
+        assert plans_automaton([plan]) is plans_automaton([twin])

@@ -51,7 +51,7 @@ GRID = [
 ]
 
 
-def build_store(make, fast_path, bucket_capacity=8):
+def build_store(make, fast_path, bucket_capacity=8, automaton=True):
     params, n_codes = make()
     encoder = (
         FrequencyEncoder.train(
@@ -63,7 +63,7 @@ def build_store(make, fast_path, bucket_capacity=8):
     )
     store = EncryptedSearchableStore(
         params, encoder=encoder, bucket_capacity=bucket_capacity,
-        fast_path=fast_path,
+        fast_path=fast_path, automaton=automaton,
     )
     for rid, text in enumerate(TEXTS):
         store.put(rid, text)
@@ -216,6 +216,129 @@ class TestCompressedEquivalence:
             ), pattern
 
 
+class TestAutomatonEquivalence:
+    """Three-rung ladder: automaton ≡ per-needle ≡ scalar.
+
+    ``automaton=False`` pins batched scans to the per-needle sweeps
+    (the middle rung); ``fast_path=False`` pins the scalar per-record
+    loop.  Answers and wire costs must be byte-identical across all
+    three on every layout, for single searches and ``search_batch``.
+    """
+
+    def _ladder(self, make):
+        return (
+            build_store(make, fast_path=True, automaton=True),
+            build_store(make, fast_path=True, automaton=False),
+            build_store(make, fast_path=False),
+        )
+
+    @pytest.mark.parametrize("make", GRID)
+    def test_search_grid(self, make):
+        automaton, per_needle, scalar = self._ladder(make)
+        minimum = automaton.params.min_query_length
+        patterns = [p for p in PATTERNS if len(p) >= minimum]
+        assert patterns, "grid entry left no searchable pattern"
+        for pattern in patterns:
+            a, b, c = (
+                store.search(pattern)
+                for store in (automaton, per_needle, scalar)
+            )
+            assert a.candidates == b.candidates == c.candidates, pattern
+            assert a.matches == b.matches == c.matches, pattern
+            assert a.cost.bytes == b.cost.bytes == c.cost.bytes, pattern
+            assert a.cost.messages == b.cost.messages == (
+                c.cost.messages
+            ), pattern
+        assert automaton.network.stats.bytes == (
+            per_needle.network.stats.bytes
+        ) == scalar.network.stats.bytes
+
+    @pytest.mark.parametrize("make", GRID)
+    def test_search_batch_grid(self, make):
+        automaton, per_needle, scalar = self._ladder(make)
+        minimum = automaton.params.min_query_length
+        patterns = [p for p in PATTERNS if len(p) >= minimum]
+        results = [
+            store.search_batch(patterns)
+            for store in (automaton, per_needle, scalar)
+        ]
+        for pattern in patterns:
+            a, b, c = (per_store[pattern] for per_store in results)
+            assert a.candidates == b.candidates == c.candidates, pattern
+            assert a.matches == b.matches == c.matches, pattern
+            assert a.cost.bytes == b.cost.bytes == c.cost.bytes, pattern
+            assert a.cost.messages == b.cost.messages == (
+                c.cost.messages
+            ), pattern
+
+    def test_mutations_invalidate_gram_indexes(self):
+        """The gram index lives in the haystack's view memo, so any
+        record mutation must drop it with the haystack."""
+        make = GRID[1]
+        automaton, per_needle, scalar = self._ladder(make)
+        for store in (automaton, per_needle, scalar):
+            store.search_batch(["SCHWARZ ", "WITOLD 12"])  # indexes built
+            store.put(99, "FRESH RECORD ONE")
+            store.put(0, "REPLACED CONTENT")
+            store.delete(1)
+        patterns = ["SCHWARZ ", "FRESH RE", "REPLACED", "WITOLD 12"]
+        assert_stores_agree(automaton, per_needle, patterns)
+        assert_stores_agree(automaton, scalar, patterns)
+
+    def test_compressed_ladder_and_batch(self):
+        corpus = [t.encode("ascii") for t in TEXTS]
+        stores = [
+            CompressedSearchStore(b"csi-auto", corpus,
+                                  bucket_capacity=4,
+                                  fast_path=fast_path,
+                                  automaton=automaton)
+            for fast_path, automaton in (
+                (True, True), (True, False), (False, True),
+            )
+        ]
+        for store in stores:
+            for rid, text in enumerate(TEXTS):
+                store.put(rid, text)
+        patterns = ["CHWAR", "WITOLD", "BBBBCC", "ZZZ", "THOMAS"]
+        singles = [
+            {p: store.search(p) for p in patterns} for store in stores
+        ]
+        batches = [store.search_batch(patterns) for store in stores]
+        for pattern in patterns:
+            a, b, c = (per_store[pattern] for per_store in singles)
+            assert a.candidates == b.candidates == c.candidates, pattern
+            assert a.matches == b.matches == c.matches, pattern
+            assert a.cost.bytes == b.cost.bytes == c.cost.bytes, pattern
+            x, y, z = (per_store[pattern] for per_store in batches)
+            assert x.candidates == y.candidates == z.candidates, pattern
+            assert x.matches == y.matches == z.matches, pattern
+            assert x.candidates == a.candidates, pattern
+            assert x.matches == a.matches, pattern
+            assert x.cost.bytes == y.cost.bytes == z.cost.bytes, pattern
+
+    def test_word_store_batch_matches_singles(self):
+        stores = [
+            EncryptedWordStore(b"word-batch", bucket_capacity=4,
+                               fast_path=fast_path)
+            for fast_path in (True, False)
+        ]
+        for store in stores:
+            for rid, text in enumerate(TEXTS):
+                store.put(rid, text)
+        fast, reference = stores
+        words = ["SCHWARZ", "THOMAS", "453-2234", "MISSING", "ANA"]
+        fast_batch = fast.search_batch(words)
+        reference_batch = reference.search_batch(words)
+        for word in words:
+            single = fast.search(word)
+            a = fast_batch[word]
+            b = reference_batch[word]
+            assert a.matches == b.matches == single.matches, word
+            assert a.positions == b.positions == single.positions, word
+            assert a.cost.bytes == b.cost.bytes, word
+            assert a.cost.messages == b.cost.messages, word
+
+
 class TestMatcherUnit:
     """PlanScanMatcher: per-record and per-bucket forms agree."""
 
@@ -287,3 +410,37 @@ class TestMergeInvalidation:
             file.insert(rid, b"R-%02d" % rid)
             expected.append(rid)
             assert sorted(file.scan(matcher, request_size=4)) == expected
+
+    def test_multi_needle_automaton_across_split_and_merge(self):
+        """Enough same-length needles to engage the gram index, swept
+        across splits and merges: the index must die with each stale
+        haystack, matching the per-needle and scalar rungs exactly."""
+        from repro.core.compressed_index import (
+            MultiCompressedScanMatcher,
+        )
+
+        groups = tuple(
+            (b"PAY%d" % digit,) for digit in range(5)
+        )  # 5 needles of one length on the shared lane: index engaged
+        ladder = [
+            MultiCompressedScanMatcher(groups),
+            MultiCompressedScanMatcher(groups, automaton=False),
+            MultiCompressedScanMatcher(groups, batched=False),
+        ]
+        file = LHStarFile(name="auto-churn", bucket_capacity=4,
+                          shrink=True)
+        for rid in range(32):
+            file.insert(rid, b"xxPAY%dxx" % (rid % 5))
+        first = [
+            sorted(file.scan(matcher, request_size=16))
+            for matcher in ladder
+        ]
+        assert first[0] == first[1] == first[2]
+        for rid in range(24):        # force merges
+            file.delete(rid)
+        after = [
+            sorted(file.scan(matcher, request_size=16))
+            for matcher in ladder
+        ]
+        assert after[0] == after[1] == after[2]
+        assert [rid for rid, _groups in after[0]] == list(range(24, 32))

@@ -1,0 +1,223 @@
+"""Vectorised message rounds ≡ per-message dispatch.
+
+A round groups the contiguous same-arrival slice of *batchable*
+messages into one ``handle_batch`` call per destination; billing,
+gate checks and observer callbacks stay per message.  These tests pin
+the grouping rules and the bit-identity of stats with the flag on or
+off — including under partitions and crashes — and the LH* scan memo
+that rides on the rounds.
+"""
+
+from repro.net.simulator import Message, Network, Node
+from repro.net.stats import NetworkStats
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.sdds.lhstar import LHStarFile
+
+
+class Collector(Node):
+    """Records how deliveries were grouped."""
+
+    BATCHABLE_KINDS = frozenset({"ping"})
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.deliveries: list[list[int]] = []
+
+    def handle(self, message: Message) -> None:
+        self.deliveries.append([message.payload["tag"]])
+
+    def handle_batch(self, messages: list[Message]) -> None:
+        self.deliveries.append([m.payload["tag"] for m in messages])
+
+
+def burst(network, collectors, tags):
+    """One same-arrival burst: tag ``t`` goes to collector ``t % n``."""
+    for tag in tags:
+        network.send(
+            f"src-{tag}", collectors[tag % len(collectors)].node_id,
+            "ping", {"tag": tag}, size=8,
+        )
+
+
+def fresh(vectorised, n_collectors=2, **kwargs):
+    network = Network(vectorised_rounds=vectorised, **kwargs)
+    collectors = [
+        network.attach(Collector(f"c{i}")) for i in range(n_collectors)
+    ]
+    for tag in range(8):
+        network.attach(Collector(f"src-{tag}"))
+    return network, collectors
+
+
+class TestGrouping:
+    def test_same_arrival_burst_batches_per_destination(self):
+        network, collectors = fresh(True)
+        burst(network, collectors, range(6))
+        network.run()
+        # Destinations in first-appearance order, pop order within.
+        assert collectors[0].deliveries == [[0, 2, 4]]
+        assert collectors[1].deliveries == [[1, 3, 5]]
+
+    def test_flag_off_pins_per_message_dispatch(self):
+        network, collectors = fresh(False)
+        burst(network, collectors, range(6))
+        network.run()
+        assert collectors[0].deliveries == [[0], [2], [4]]
+        assert collectors[1].deliveries == [[1], [3], [5]]
+
+    def test_lone_message_stays_scalar(self):
+        network, collectors = fresh(True)
+        burst(network, collectors, [0])
+        network.run()
+        assert collectors[0].deliveries == [[0]]
+
+    def test_non_batchable_kind_breaks_the_round(self):
+        class Strict(Collector):
+            BATCHABLE_KINDS = frozenset()
+
+        network = Network(vectorised_rounds=True)
+        batchable = network.attach(Collector("c0"))
+        strict = network.attach(Strict("c1"))
+        for tag in range(4):
+            network.attach(Collector(f"src-{tag}"))
+        # Interleave: strict's message lands mid-slice and stops the
+        # collection; the tail forms its own round.
+        for tag, dst in ((0, "c0"), (1, "c1"), (2, "c0"), (3, "c0")):
+            network.send(f"src-{tag}", dst, "ping", {"tag": tag}, size=8)
+        network.run()
+        assert batchable.deliveries == [[0], [2, 3]]
+        assert strict.deliveries == [[1]]
+
+    def test_different_arrivals_never_merge(self):
+        network, collectors = fresh(True)
+        burst(network, collectors, [0, 2])
+        network.run()
+        burst(network, collectors, [4])
+        network.run()
+        assert collectors[0].deliveries == [[0, 2], [4]]
+
+
+class TestStatsIdentity:
+    def drive(self, vectorised):
+        network, collectors = fresh(vectorised)
+        network.partition("src-1", "c1")
+        burst(network, collectors, range(6))
+        network.crash("c0")
+        burst(network, collectors, range(6))
+        network.run()
+        network.restore("c0")
+        burst(network, collectors, range(6))
+        network.run()
+        return network, collectors
+
+    def test_partition_and_crash_gates_bill_identically(self):
+        on_net, on_cols = self.drive(True)
+        off_net, off_cols = self.drive(False)
+        assert on_net.stats == off_net.stats
+        assert on_net.stats.partitioned_drops > 0
+        assert on_net.stats.crashed_drops > 0
+        # Same multiset of delivered tags per destination.
+        for a, b in zip(on_cols, off_cols):
+            assert sorted(
+                tag for batch in a.deliveries for tag in batch
+            ) == sorted(tag for batch in b.deliveries for tag in batch)
+
+    def test_observer_sees_per_message_events(self):
+        class Recorder:
+            def __init__(self):
+                self.events = []
+
+            def on_send(self, kind, size):
+                self.events.append(("send", kind, size))
+
+            def on_drop(self, kind, size):
+                self.events.append(("drop", kind, size))
+
+            def on_deliver(self, kind, size, latency):
+                self.events.append(("deliver", kind, size))
+
+        logs = []
+        for vectorised in (True, False):
+            network, collectors = fresh(vectorised)
+            network.partition("src-1", "c1")
+            recorder = Recorder()
+            network.observer = recorder
+            burst(network, collectors, range(6))
+            network.run()
+            logs.append(recorder.events)
+        assert logs[0] == logs[1]
+
+
+class TestScanRounds:
+    def build_file(self, vectorised):
+        network = Network(vectorised_rounds=vectorised)
+        file = LHStarFile(name="rounds", network=network,
+                          bucket_capacity=2)
+        for rid in range(16):
+            file.insert(rid, b"R-%02d" % rid)
+        return network, file
+
+    def test_scan_answers_and_stats_identical(self):
+        from repro.core.compressed_index import CompressedScanMatcher
+
+        results = []
+        for vectorised in (True, False):
+            network, file = self.build_file(vectorised)
+            before = network.stats.snapshot()
+            hits = sorted(
+                file.scan(CompressedScanMatcher((b"R-",)),
+                          request_size=4)
+            )
+            results.append((hits, network.stats.diff(before)))
+        (on_hits, on_cost), (off_hits, off_cost) = results
+        assert on_hits == off_hits == sorted(range(16))
+        assert on_cost == off_cost
+
+    def test_scan_memo_reuses_hits_on_vectorised_networks(self):
+        from repro.core.compressed_index import CompressedScanMatcher
+
+        network, file = self.build_file(True)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            first = sorted(file.scan(
+                CompressedScanMatcher((b"R-0",)), request_size=4
+            ))
+            assert registry.counter("lh.scan.memo_hit").value == 0
+            again = sorted(file.scan(
+                CompressedScanMatcher((b"R-0",)), request_size=4
+            ))
+        assert first == again == sorted(range(10))
+        assert registry.counter("lh.scan.memo_hit").value > 0
+
+    def test_scan_memo_invalidated_by_mutation(self):
+        from repro.core.compressed_index import CompressedScanMatcher
+
+        network, file = self.build_file(True)
+        matcher = CompressedScanMatcher((b"R-",))
+        assert sorted(file.scan(matcher, request_size=4)) == sorted(
+            range(16)
+        )
+        file.insert(99, b"R-99")
+        file.delete(0)
+        assert sorted(file.scan(matcher, request_size=4)) == sorted(
+            list(range(1, 16)) + [99]
+        )
+
+    def test_scan_memo_disabled_on_per_message_networks(self):
+        from repro.core.compressed_index import CompressedScanMatcher
+
+        network, file = self.build_file(False)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            for _ in range(2):
+                file.scan(CompressedScanMatcher((b"R-",)),
+                          request_size=4)
+        assert registry.counter("lh.scan.memo_hit").value == 0
+
+
+def test_default_nodes_keep_strict_dispatch():
+    assert Node.BATCHABLE_KINDS == frozenset()
+
+
+def test_network_stats_equality_is_field_wise():
+    assert NetworkStats() == NetworkStats()

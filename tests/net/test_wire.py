@@ -13,7 +13,10 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.compressed_index import CompressedScanMatcher
+from repro.core.compressed_index import (
+    CompressedScanMatcher,
+    MultiCompressedScanMatcher,
+)
 from repro.core.scheme import BatchHitReporter, _BatchHit
 from repro.core.search import (
     IndexKeyCodec,
@@ -22,7 +25,7 @@ from repro.core.search import (
     SearchPlan,
     SiteHit,
 )
-from repro.core.wordsearch import WordScanMatcher
+from repro.core.wordsearch import MultiWordScanMatcher, WordScanMatcher
 from repro.crypto.swp import Trapdoor
 from repro.net.faults import RetryPolicy
 from repro.net.simulator import Message, wire_checksum
@@ -239,6 +242,32 @@ class TestTypedObjects:
             assert (back.match_bucket is None) == (not batched)
             assert back(Record(rid=1, content=b"xxabxx")) == 1
             assert back(Record(rid=1, content=b"zz")) is None
+
+    def test_multi_word_matcher(self):
+        trapdoors = (
+            Trapdoor(pre_encrypted=b"x" * 16, word_key=b"k" * 16),
+            Trapdoor(pre_encrypted=b"y" * 16, word_key=b"j" * 16),
+        )
+        for fast_path in (True, False):
+            matcher = MultiWordScanMatcher(trapdoors,
+                                           fast_path=fast_path)
+            back = roundtrip(matcher)
+            assert back.trapdoors == trapdoors
+            assert back.fast_path == fast_path
+            assert (back.match_bucket is None) == (not fast_path)
+            assert back.scan_key() == matcher.scan_key()
+
+    def test_multi_compressed_matcher(self):
+        groups = ((b"ab", b"cd"), (b"zz",))
+        for batched in (True, False):
+            matcher = MultiCompressedScanMatcher(groups,
+                                                 batched=batched)
+            back = roundtrip(matcher)
+            assert back.needle_groups == groups
+            assert (back.match_bucket is None) == (not batched)
+            assert back(Record(rid=1, content=b"xxabxx")) == (1, (0,))
+            assert back(Record(rid=2, content=b"zzcd")) == (2, (0, 1))
+            assert back(Record(rid=3, content=b"qq")) is None
 
     def test_retry_policy(self):
         policy = RetryPolicy(timeout=1.5, backoff=3.0, max_retries=4,

@@ -125,7 +125,11 @@ class TestCacheBreakdown:
         from repro.obs.report import cache_breakdown
 
         table = cache_breakdown({})
-        assert len(table.rows) == 3
+        assert len(table.rows) == 5
+        assert [row[0] for row in table.rows] == [
+            "codec tables", "search plans", "bucket haystacks",
+            "scan automata", "gram indexes",
+        ]
         assert table.rows[0][3] == "-"
 
     def test_main_accepts_metrics_json(self, tmp_path, capsys):
